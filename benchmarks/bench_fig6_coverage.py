@@ -1,0 +1,29 @@
+"""Figure 6 benchmark: URL and server coverage from a disjoint seed set.
+
+Regenerates paper Figure 6: a reference crawl from seed set S1, a test
+crawl from a disjoint seed set S2, and the fraction of the reference
+crawl's relevant URLs / servers the test crawl re-discovers.
+"""
+
+import pytest
+
+from repro.experiments.fig6_coverage import run_coverage_experiment
+
+
+@pytest.mark.benchmark(group="fig6-coverage")
+def test_fig6_coverage_from_disjoint_seeds(benchmark, crawl_workload):
+    def run():
+        return run_coverage_experiment(
+            workload=crawl_workload, reference_pages=500, test_pages=500, seed_size=16
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["final_url_coverage"] = round(result.final_url_coverage, 4)
+    benchmark.extra_info["final_server_coverage"] = round(result.final_server_coverage, 4)
+    benchmark.extra_info["reference_relevant_urls"] = result.reference_relevant_urls
+    # Paper: ≈83 % of relevant URLs and ≈90 % of servers re-discovered.  The
+    # coverage must be substantial and servers must be covered at least as
+    # well as URLs.
+    assert result.final_url_coverage > 0.5
+    assert result.final_server_coverage > 0.7
+    assert result.final_server_coverage >= result.final_url_coverage - 0.05

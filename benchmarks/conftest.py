@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one of the paper's figures (see
+DESIGN.md §4 and EXPERIMENTS.md).  The synthetic web and the trained
+classifier are built once per session; individual benchmarks then time
+the crawl / classification / distillation step they correspond to and
+attach the figure's headline numbers as ``extra_info`` so the JSON
+output of ``pytest benchmarks/ --benchmark-only --benchmark-json=...``
+doubles as the experiment record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.workloads import build_crawl_workload
+
+#: Scale factor for the benchmark web: large enough for the paper's effects,
+#: small enough that the whole benchmark suite finishes in a few minutes.
+BENCH_SCALE = 0.6
+BENCH_SEED = 7
+BENCH_CRAWL_PAGES = 600
+
+
+@pytest.fixture(scope="session")
+def crawl_workload():
+    """The trained crawling workload shared by the Figure 5/6/7 benchmarks."""
+    return build_crawl_workload(seed=BENCH_SEED, scale=BENCH_SCALE, max_pages=BENCH_CRAWL_PAGES)
+
+
+@pytest.fixture(scope="session")
+def bench_crawl_pages() -> int:
+    """Crawl budget used by the crawl-level benchmarks."""
+    return BENCH_CRAWL_PAGES

@@ -1,0 +1,45 @@
+"""Citation sociology: which topics live one link away from cycling pages?
+
+Reproduces the example-query from the paper's introduction::
+
+    python examples/citation_sociology.py
+
+"Find a topic (other than bicycling) within one link of bicycling pages
+that is much more frequent than on the web at large.  The answer found
+by the system described in this paper is *first aid*."
+
+The synthetic web plants the same association (cycling pages link to
+first-aid pages more often than chance); a focused crawl plus the
+co-topic analysis recovers it.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.workloads import build_crawl_workload
+
+
+def main() -> None:
+    print("Building the workload and crawling the cycling community...")
+    workload = build_crawl_workload(seed=7, scale=0.6, max_pages=900)
+    result = workload.system.crawl(max_pages=900)
+    print(f"pages fetched: {result.pages_fetched()}, harvest rate {result.harvest_rate():.3f}")
+
+    print("\nTopics over-represented within one link of the crawled cycling pages:")
+    cotopics = result.citation_sociology(relevance_threshold=0.5)
+    if not cotopics:
+        print("  (crawl too small to measure — increase max_pages)")
+        return
+    print(f"  {'topic':<35} {'near cycling':>12} {'web at large':>13} {'lift':>7}")
+    for cotopic in cotopics[:6]:
+        print(
+            f"  {cotopic.name:<35} {cotopic.neighbourhood_share:>11.1%} "
+            f"{cotopic.baseline_share:>12.1%} {cotopic.lift:>7.2f}"
+        )
+    print(
+        f"\nAnswer: {cotopics[0].name!r} — the reproduction's analogue of the paper's"
+        " 'first aid' finding."
+    )
+
+
+if __name__ == "__main__":
+    main()

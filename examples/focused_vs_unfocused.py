@@ -1,0 +1,38 @@
+"""Figure 5 scenario: a focused crawler vs. a standard crawler, same seeds.
+
+Reproduces the paper's headline comparison (§3.4)::
+
+    python examples/focused_vs_unfocused.py
+
+Both crawlers start from the same keyword-search-style seeds for the
+cycling topic.  The unfocused baseline expands pages in breadth-first
+order and drifts away from the topic; the soft-focus crawler keeps its
+harvest rate up for the whole run.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig5_harvest import print_report, run_harvest_experiment
+from repro.experiments.workloads import build_crawl_workload
+
+
+def main() -> None:
+    print("Building the crawl workload (synthetic web + trained classifier)...")
+    workload = build_crawl_workload(seed=7, scale=0.6, max_pages=800)
+
+    print("Running the focused and unfocused crawls (this takes a minute)...\n")
+    result = run_harvest_experiment(workload=workload, max_pages=800, window=100)
+
+    for line in print_report(result, every=100):
+        print(line)
+
+    print()
+    print(
+        "Shape check: the unfocused crawler starts out fine (same seeds) and then"
+        " loses its way, while the focused crawler sustains its harvest rate —"
+        f" a {result.tail_advantage():.1f}x advantage over the second half of the crawl."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+environments without the ``wheel`` package (where PEP 517 editable builds
+fail with ``invalid command 'bdist_wheel'``) can still do a legacy
+editable install::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

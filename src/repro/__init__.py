@@ -1,0 +1,31 @@
+"""repro: reproduction of "Distributed Hypertext Resource Discovery Through Examples".
+
+Chakrabarti, van den Berg, Dom — VLDB 1999 (the "Focus" project).
+
+The package is organised bottom-up:
+
+* :mod:`repro.minidb` — a small relational engine (the paper's DB2 role).
+* :mod:`repro.webgraph` — a synthetic distributed hypertext (the paper's Web role).
+* :mod:`repro.taxonomy` — the topic tree and example documents.
+* :mod:`repro.classifier` — hierarchical naive Bayes, SingleProbe and BulkProbe.
+* :mod:`repro.distiller` — relevance-weighted HITS, in-memory and join-based.
+* :mod:`repro.crawler` — focused and unfocused crawlers, frontier policies, monitoring.
+* :mod:`repro.core` — the FocusSystem facade, schemata, metrics, configuration.
+* :mod:`repro.experiments` — regeneration of every figure in the paper's evaluation.
+
+Quickstart::
+
+    from repro import FocusSystem, FocusConfig
+
+    system = FocusSystem.bootstrap(FocusConfig(good_topics=["recreation/cycling"]))
+    system.train()
+    result = system.crawl(max_pages=500)
+    print(result.harvest_rate())
+"""
+
+from .core.config import FocusConfig
+from .core.system import CrawlResult, FocusSystem
+
+__version__ = "0.1.0"
+
+__all__ = ["CrawlResult", "FocusConfig", "FocusSystem", "__version__"]

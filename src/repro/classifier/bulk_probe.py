@@ -1,0 +1,191 @@
+"""BulkProbe: set-at-a-time classification expressed as relational joins.
+
+This is the paper's Figure 3 access path ("CLI" in Figure 8a): instead of
+probing the statistics index once per term per document, a whole batch of
+documents is classified with
+
+* one inner join ``STAT_c0 ⋈ DOCUMENT ⋈ TAXONOMY`` grouped by (did, kcid)
+  that computes ``Σ freq·(logtheta + logdenom)`` (the PARTIAL CTE),
+* a per-document feature-term length (the DOCLEN CTE),
+* a synthetic cross product of documents × children holding
+  ``−len·logdenom`` (the COMPLETE CTE), and
+* a **left outer join** of COMPLETE with PARTIAL so documents that share
+  no feature term with a child still get scored.
+
+The joins run sort-merge / hash through minidb, so their I/O is sequential
+in the table sizes rather than random per term — the source of the ~10×
+speed-up reported in Figure 8(a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.minidb import Database, col, func, lit
+from repro.taxonomy.tree import ROOT_CID, TopicTaxonomy
+
+from .model import normalize_log_scores
+from .single_probe import ClassificationResult, ProbeCost
+from .tokenizer import TermFrequencies
+from .training import stat_table_name
+
+
+class BulkProbeClassifier:
+    """Classifies batches of documents stored in the DOCUMENT table."""
+
+    def __init__(self, database: Database, taxonomy: TopicTaxonomy) -> None:
+        self.database = database
+        self.taxonomy = taxonomy
+        self.cost = ProbeCost()
+
+    # -- document loading ------------------------------------------------------------
+    def load_documents(self, documents: Mapping[int, TermFrequencies], truncate: bool = True) -> None:
+        """Populate the DOCUMENT table with (did, tid, freq) rows.
+
+        The paper notes this step is "part of standard keyword indexing
+        anyway", so its cost is charged to doc scanning, not probing.
+        """
+        table = self.database.table("DOCUMENT")
+        before = self.database.stats.copy()
+        if truncate:
+            table.truncate()
+        rows = []
+        for did, frequencies in documents.items():
+            for tid, freq in frequencies.items():
+                rows.append({"did": did, "tid": tid, "freq": freq})
+        table.insert_many(rows)
+        self.cost.doc_scan_cost += self.database.stats.diff(before).simulated_cost()
+
+    # -- per-node bulk evaluation --------------------------------------------------------
+    def bulk_conditional_log_likelihoods(self, c0_cid: int) -> Dict[tuple[int, int], float]:
+        """log Pr[d | ci] for every document in DOCUMENT and child ci of c0.
+
+        Returns a map from (did, kcid) to the (unnormalised) log likelihood,
+        computed with the PARTIAL / DOCLEN / COMPLETE join plan of Figure 3.
+        """
+        db = self.database
+        stat_name = stat_table_name(c0_cid)
+        before = db.stats.copy()
+
+        children = [
+            row
+            for row in db.query("TAXONOMY").where(col("pcid") == lit(c0_cid)).run()
+            if row["logdenom"] is not None
+        ]
+        if not children:
+            return {}
+
+        # PARTIAL(did, kcid, lpr1): the sort-merge inner join of Figure 3.
+        partial_rows = (
+            db.query(stat_name)
+            .join("DOCUMENT", on=[("tid", "tid")], algorithm="merge")
+            .join("TAXONOMY", on=[(f"{stat_name}.kcid", "kcid")])
+            .where(col("TAXONOMY.pcid") == lit(c0_cid))
+            .group_by(("did", col("did")), ("kcid", col(f"{stat_name}.kcid")))
+            .aggregate(
+                "sum",
+                col("freq") * (col("logtheta") + col("TAXONOMY.logdenom")),
+                "lpr1",
+            )
+            .run()
+        )
+
+        # DOCLEN(did, len): per-document count of feature-term occurrences.
+        feature_tids = db.query(stat_name).select("tid").distinct().run()
+        doclen_rows = (
+            db.query("DOCUMENT")
+            .join(feature_tids, on=[("tid", "tid")])
+            .group_by(("did", col("did")))
+            .aggregate("sum", col("freq"), "len")
+            .run()
+        )
+
+        # COMPLETE(did, kcid, lpr2): documents × children, -len * logdenom.
+        complete_rows = [
+            {
+                "did": doc_row["did"],
+                "kcid": child["kcid"],
+                "lpr2": -doc_row["len"] * child["logdenom"],
+            }
+            for doc_row in doclen_rows
+            for child in children
+        ]
+
+        # COMPLETE left outer join PARTIAL on (did, kcid).
+        final_rows = (
+            db.query(complete_rows, alias="C")
+            .join(partial_rows, on=[("C.did", "did"), ("C.kcid", "kcid")], how="left", alias="P")
+            .select(
+                ("did", col("C.did")),
+                ("kcid", col("C.kcid")),
+                ("lpr", col("C.lpr2") + func("coalesce", col("P.lpr1"), lit(0.0))),
+            )
+            .run()
+        )
+        self.cost.join_cost += db.stats.diff(before).simulated_cost()
+        return {(row["did"], row["kcid"]): row["lpr"] for row in final_rows}
+
+    # -- batch classification --------------------------------------------------------------
+    def classify_batch(
+        self, dids: Optional[Iterable[int]] = None
+    ) -> Dict[int, ClassificationResult]:
+        """Classify every document currently in the DOCUMENT table.
+
+        Evaluation proceeds over the path nodes in topological order, as
+        the Figure 3 caption prescribes, accumulating Pr[c | d] by the
+        chain rule and summing the good-node posteriors into R(d).
+        """
+        db = self.database
+        if dids is None:
+            did_rows = db.query("DOCUMENT").select("did").distinct().run()
+            dids = [row["did"] for row in did_rows]
+        dids = list(dids)
+        posteriors: Dict[int, Dict[int, float]] = {did: {ROOT_CID: 1.0} for did in dids}
+
+        priors: Dict[int, float] = {}
+        for row in db.query("TAXONOMY").run():
+            priors[row["kcid"]] = row["logprior"] if row["logprior"] is not None else 0.0
+
+        for node in self.taxonomy.evaluation_frontier():
+            modelled_children = [
+                row["kcid"]
+                for row in db.query("TAXONOMY").where(col("pcid") == lit(node.cid)).run()
+                if row["logdenom"] is not None
+            ]
+            if not modelled_children:
+                continue
+            loglikes = self.bulk_conditional_log_likelihoods(node.cid)
+            for did in dids:
+                parent_probability = posteriors[did].get(node.cid, 0.0)
+                if parent_probability <= 0.0:
+                    continue
+                scores = {}
+                for kcid in modelled_children:
+                    value = loglikes.get((did, kcid))
+                    if value is not None:
+                        scores[kcid] = value + priors.get(kcid, 0.0)
+                if not scores:
+                    # The document shares no feature term with this node:
+                    # Figure 3's DOCLEN drops it, but the correct Bayes
+                    # answer is to fall back to the class priors (what the
+                    # in-memory and SingleProbe classifiers do implicitly).
+                    scores = {kcid: priors.get(kcid, 0.0) for kcid in modelled_children}
+                conditionals = normalize_log_scores(scores)
+                for kcid, probability in conditionals.items():
+                    posteriors[did][kcid] = parent_probability * probability
+
+        good_cids = [node.cid for node in self.taxonomy.good_nodes()]
+        results: Dict[int, ClassificationResult] = {}
+        for did in dids:
+            relevance = float(sum(posteriors[did].get(cid, 0.0) for cid in good_cids))
+            results[did] = ClassificationResult(relevance=relevance, posteriors=posteriors[did])
+            self.cost.documents += 1
+        return results
+
+    def classify_documents(
+        self, documents: Mapping[int, TermFrequencies]
+    ) -> Dict[int, ClassificationResult]:
+        """Convenience: load a batch into DOCUMENT and classify it."""
+        self.load_documents(documents)
+        return self.classify_batch(list(documents))

@@ -1,0 +1,108 @@
+"""Feature selection per internal taxonomy node.
+
+§2.1.1: "Of all the terms in the universe, a subset F(c0) is selected.
+Intuitively, these are terms that provide the maximum discrimination
+power between documents belonging to different subtrees of c0.  Because
+training data is limited and noisy, accuracy may in fact be reduced by
+including more terms."
+
+The companion paper the authors cite (Chakrabarti et al., VLDB Journal
+1998) uses a Fisher discriminant score; we implement the same idea: for
+each candidate term, the ratio of between-class scatter of its relative
+frequency to its within-class scatter.  Terms must also appear in at
+least ``min_document_frequency`` training documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class FeatureSelectionConfig:
+    """Knobs for per-node feature selection."""
+
+    #: Maximum number of feature terms retained per internal node.
+    max_features: int = 600
+    #: A term must occur in at least this many training documents (across
+    #: all children of the node) to be considered.
+    min_document_frequency: int = 2
+    #: Small constant protecting the Fisher ratio from zero within-class scatter.
+    epsilon: float = 1e-9
+
+
+def fisher_scores(
+    class_term_frequencies: Sequence[Dict[str, List[float]]],
+    epsilon: float = 1e-9,
+) -> Dict[str, float]:
+    """Fisher discriminant score per term.
+
+    ``class_term_frequencies[i]`` maps a term to the list of its relative
+    frequencies in each document of class ``i`` (documents where the term
+    does not occur contribute 0 and must be included by the caller).
+    """
+    terms: set[str] = set()
+    for per_class in class_term_frequencies:
+        terms.update(per_class)
+    scores: Dict[str, float] = {}
+    for term in terms:
+        means = []
+        variances = []
+        for per_class in class_term_frequencies:
+            values = np.asarray(per_class.get(term, [0.0]), dtype=float)
+            means.append(float(values.mean()))
+            variances.append(float(values.var()))
+        means_arr = np.asarray(means)
+        between = 0.0
+        for i in range(len(means_arr)):
+            for j in range(i + 1, len(means_arr)):
+                between += float((means_arr[i] - means_arr[j]) ** 2)
+        within = float(np.sum(variances)) + epsilon
+        scores[term] = between / within
+    return scores
+
+
+def select_features(
+    documents_per_child: Sequence[Sequence[Dict[str, int]]],
+    config: FeatureSelectionConfig,
+) -> List[str]:
+    """Select F(c0) given each child's training documents (term->count maps).
+
+    Returns the selected terms sorted by decreasing Fisher score.  When a
+    child has no training documents it simply contributes nothing to the
+    scatter computation (the trainer guards against fully-empty nodes).
+    """
+    # Document frequency filter.
+    document_frequency: Dict[str, int] = {}
+    for child_docs in documents_per_child:
+        for doc in child_docs:
+            for term in doc:
+                document_frequency[term] = document_frequency.get(term, 0) + 1
+    candidates = {
+        term
+        for term, df in document_frequency.items()
+        if df >= config.min_document_frequency
+    }
+    if not candidates:
+        # Degenerate training sets: fall back to every observed term.
+        candidates = set(document_frequency)
+
+    # Relative frequencies per class, aligned per document (zeros included).
+    class_term_frequencies: List[Dict[str, List[float]]] = []
+    for child_docs in documents_per_child:
+        per_class: Dict[str, List[float]] = {term: [] for term in candidates}
+        for doc in child_docs:
+            total = sum(doc.values()) or 1
+            for term in candidates:
+                per_class[term].append(doc.get(term, 0) / total)
+        if not child_docs:
+            for term in candidates:
+                per_class[term].append(0.0)
+        class_term_frequencies.append(per_class)
+
+    scores = fisher_scores(class_term_frequencies, config.epsilon)
+    ranked = sorted(candidates, key=lambda term: (-scores.get(term, 0.0), term))
+    return ranked[: config.max_features]

@@ -1,0 +1,72 @@
+"""Tokenisation and term-frequency extraction.
+
+The paper hashes terms to 32-bit ids (``tid``) and represents a document
+as rows ``(did, tid, freq)`` of the DOCUMENT table.  The synthetic web
+already hands the crawler token lists, but the tokenizer also accepts raw
+text so the classifier can be used on real documents.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Union
+
+from repro.webgraph.vocabulary import term_id
+
+_WORD_RE = re.compile(r"[a-z0-9]+")
+
+#: Minimal stopword list applied to raw text (token-list inputs are trusted).
+STOPWORDS = frozenset(
+    "a an and are as at be by for from has have in is it of on or that the to was were with".split()
+)
+
+
+@dataclass(frozen=True)
+class TermFrequencies:
+    """A bag-of-terms document ready for classification.
+
+    ``by_tid`` is the paper's ``freq(d, t)`` keyed by hashed term id;
+    ``length`` is n(d) restricted to the retained terms.
+    """
+
+    by_tid: Dict[int, int]
+
+    @property
+    def length(self) -> int:
+        return sum(self.by_tid.values())
+
+    def __len__(self) -> int:
+        return len(self.by_tid)
+
+    def items(self):
+        return self.by_tid.items()
+
+
+def tokenize_text(text: str, min_length: int = 2) -> list[str]:
+    """Split raw text into lowercase word tokens, dropping stopwords and short tokens."""
+    tokens = []
+    for token in _WORD_RE.findall(text.lower()):
+        if len(token) >= min_length and token not in STOPWORDS:
+            tokens.append(token)
+    return tokens
+
+
+def term_frequencies(document: Union[str, Sequence[str]]) -> TermFrequencies:
+    """Build :class:`TermFrequencies` from raw text or a pre-tokenised list."""
+    if isinstance(document, str):
+        tokens: Iterable[str] = tokenize_text(document)
+    else:
+        tokens = document
+    counts = Counter(term_id(token) for token in tokens)
+    return TermFrequencies(dict(counts))
+
+
+def term_frequencies_by_term(document: Union[str, Sequence[str]]) -> Dict[str, int]:
+    """Like :func:`term_frequencies` but keyed by the term string (training-time use)."""
+    if isinstance(document, str):
+        tokens: Iterable[str] = tokenize_text(document)
+    else:
+        tokens = document
+    return dict(Counter(tokens))

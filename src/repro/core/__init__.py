@@ -1,0 +1,34 @@
+"""core: the Focus system facade, configuration, schemata, and evaluation metrics."""
+
+from .config import FocusConfig
+from .metrics import (
+    CoTopic,
+    CoveragePoint,
+    average_harvest_rate,
+    citation_sociology,
+    coverage_series,
+    distance_histogram,
+    harvest_series,
+    moving_average,
+    relevant_reference_set,
+)
+from .schema import CRAWL_STATUSES, create_crawl_tables, create_focus_database
+from .system import CrawlResult, FocusSystem
+
+__all__ = [
+    "CRAWL_STATUSES",
+    "CoTopic",
+    "CoveragePoint",
+    "CrawlResult",
+    "FocusConfig",
+    "FocusSystem",
+    "average_harvest_rate",
+    "citation_sociology",
+    "coverage_series",
+    "create_crawl_tables",
+    "create_focus_database",
+    "distance_histogram",
+    "harvest_series",
+    "moving_average",
+    "relevant_reference_set",
+]

@@ -1,0 +1,39 @@
+"""Top-level configuration for the Focus system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.crawler.focused import CrawlerConfig
+from repro.webgraph.graph import WebConfig
+
+
+@dataclass
+class FocusConfig:
+    """Everything needed to set up and run a focused-crawling experiment.
+
+    The defaults reproduce the paper's canonical scenario: a
+    cycling-flavoured good topic on a laptop-scale synthetic web.
+    """
+
+    #: Topics the user marks good (C*), as slash paths into the taxonomy.
+    good_topics: Sequence[str] = ("recreation/cycling",)
+    #: Training examples generated per leaf topic (the paper's D(c)).
+    examples_per_leaf: int = 30
+    #: Number of seed URLs handed to the crawler (keyword-search simulation).
+    seed_count: int = 24
+    #: Buffer-pool pages of the crawl database.
+    buffer_pool_pages: int = 2048
+    #: Random seed for example generation and seed selection.
+    seed: int = 13
+    #: Crawler behaviour (page budget, focus mode, distillation cadence, ...).
+    crawler: CrawlerConfig = field(default_factory=CrawlerConfig)
+    #: Synthetic web parameters (only used when the system builds its own web).
+    web: Optional[WebConfig] = None
+
+    def copy_with(self, **overrides) -> "FocusConfig":
+        """A shallow-copied config with the given fields replaced."""
+        from dataclasses import replace
+
+        return replace(self, **overrides)

@@ -1,0 +1,253 @@
+"""Evaluation metrics for resource discovery (paper §3.3–§3.6).
+
+The paper evaluates its system with four indirect indicators, all of
+which are computed here:
+
+* **Harvest rate** (Figure 5) — a moving average of the classifier's
+  relevance over the pages fetched, as a function of how many pages have
+  been fetched.
+* **Coverage** (Figure 6) — how quickly a test crawl started from a
+  disjoint seed set re-discovers the relevant URLs (and servers) found by
+  a reference crawl.
+* **Distance histogram** (Figure 7) — the shortest link distance from the
+  seed set to the best authorities, demonstrating large-radius exploration.
+* **Citation sociology** (§1) — topics over-represented within one link
+  of the good pages relative to the crawl at large.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.crawler.focused import CrawlTrace
+from repro.webgraph.graph import WebGraph
+from repro.webgraph.urls import host_of, normalize_url
+
+
+# ---------------------------------------------------------------------------
+# Harvest rate (Figure 5)
+# ---------------------------------------------------------------------------
+
+def moving_average(values: Sequence[float], window: int) -> list[float]:
+    """Trailing moving average; the first ``window-1`` points average what is available."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    out: list[float] = []
+    running = 0.0
+    values = list(values)
+    for i, value in enumerate(values):
+        running += value
+        if i >= window:
+            running -= values[i - window]
+        out.append(running / min(i + 1, window))
+    return out
+
+
+def harvest_series(trace: CrawlTrace, window: int = 100) -> list[tuple[int, float]]:
+    """The Figure 5 series: (#URLs fetched, moving-average relevance)."""
+    relevances = trace.relevance_series()
+    averaged = moving_average(relevances, window)
+    return [(i + 1, value) for i, value in enumerate(averaged)]
+
+
+def average_harvest_rate(trace: CrawlTrace, skip_first: int = 0) -> float:
+    """Mean relevance over the crawl (optionally skipping the seed warm-up)."""
+    relevances = trace.relevance_series()[skip_first:]
+    if not relevances:
+        return 0.0
+    return float(np.mean(relevances))
+
+
+# ---------------------------------------------------------------------------
+# Coverage (Figure 6)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CoveragePoint:
+    """One point of the Figure 6 curves."""
+
+    pages_crawled: int
+    url_coverage: float
+    server_coverage: float
+
+
+def relevant_reference_set(
+    trace: CrawlTrace, relevance_threshold: float = float(np.exp(-1.0))
+) -> set[str]:
+    """Relevant URLs of a reference crawl.
+
+    The paper uses log R(u) > −1; with probabilities that is R(u) > e⁻¹.
+    """
+    return {
+        visit.url for visit in trace.visits if visit.relevance > relevance_threshold
+    }
+
+
+def coverage_series(
+    reference: CrawlTrace,
+    test: CrawlTrace,
+    relevance_threshold: float = float(np.exp(-1.0)),
+) -> list[CoveragePoint]:
+    """Fraction of the reference crawl's relevant URLs / servers found by the test crawl."""
+    reference_urls = relevant_reference_set(reference, relevance_threshold)
+    reference_servers = {host_of(url) for url in reference_urls}
+    if not reference_urls:
+        return []
+    seen_urls: set[str] = set()
+    seen_servers: set[str] = set()
+    points: list[CoveragePoint] = []
+    for i, visit in enumerate(test.visits, start=1):
+        url = normalize_url(visit.url)
+        if url in reference_urls:
+            seen_urls.add(url)
+        server = host_of(url)
+        if server in reference_servers:
+            seen_servers.add(server)
+        points.append(
+            CoveragePoint(
+                pages_crawled=i,
+                url_coverage=len(seen_urls) / len(reference_urls),
+                server_coverage=len(seen_servers) / max(len(reference_servers), 1),
+            )
+        )
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Distance histogram (Figure 7)
+# ---------------------------------------------------------------------------
+
+def distance_histogram(
+    web: WebGraph,
+    start_urls: Iterable[str],
+    target_urls: Iterable[str],
+    max_distance: Optional[int] = None,
+) -> Dict[int, int]:
+    """Histogram of shortest link distances from the seed set to the targets.
+
+    Targets unreachable from the seed set are reported under distance -1.
+    """
+    distances = web.shortest_distances(start_urls)
+    histogram: Dict[int, int] = {}
+    for url in target_urls:
+        distance = distances.get(normalize_url(url), -1)
+        if max_distance is not None and distance > max_distance:
+            distance = max_distance
+        histogram[distance] = histogram.get(distance, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+def crawl_distances(
+    web: WebGraph, trace: CrawlTrace, start_urls: Iterable[str]
+) -> Dict[str, int]:
+    """Shortest distances *found by the crawl* from the seed set.
+
+    Figure 7's x-axis is "Shortest distance found (#links)": the BFS may
+    only expand pages the crawler actually visited, so shortcuts through
+    unvisited parts of the web do not count.
+    """
+    visited = trace.visited_set()
+    distances: Dict[str, int] = {}
+    queue: list[str] = []
+    for url in start_urls:
+        normalized = normalize_url(url)
+        if normalized not in distances:
+            distances[normalized] = 0
+            queue.append(normalized)
+    head = 0
+    while head < len(queue):
+        current = queue[head]
+        head += 1
+        if current not in visited or not web.has_page(current):
+            continue  # the crawl never expanded this page
+        for target in web.out_links(current):
+            normalized = normalize_url(target)
+            if normalized not in distances:
+                distances[normalized] = distances[current] + 1
+                queue.append(normalized)
+    return distances
+
+
+def crawl_distance_histogram(
+    web: WebGraph,
+    trace: CrawlTrace,
+    start_urls: Iterable[str],
+    target_urls: Iterable[str],
+) -> Dict[int, int]:
+    """Figure 7: histogram of crawl-found distances from the seeds to the targets."""
+    distances = crawl_distances(web, trace, start_urls)
+    histogram: Dict[int, int] = {}
+    for url in target_urls:
+        distance = distances.get(normalize_url(url), -1)
+        histogram[distance] = histogram.get(distance, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+# ---------------------------------------------------------------------------
+# Citation sociology (§1)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CoTopic:
+    """A topic over-represented in the neighbourhood of the good pages."""
+
+    kcid: int
+    name: str
+    neighbourhood_share: float
+    baseline_share: float
+    lift: float
+
+
+def citation_sociology(
+    trace: CrawlTrace,
+    web: WebGraph,
+    good_urls: set[str],
+    kcid_names: Mapping[int, str],
+    exclude_kcids: set[int],
+    min_neighbour_pages: int = 5,
+) -> list[CoTopic]:
+    """Find topics unusually frequent within one link of the good pages.
+
+    ``good_urls`` are the crawled pages judged relevant; their out-link
+    targets that were also crawled form the neighbourhood.  Each
+    neighbourhood page's best-leaf class (recorded during the crawl) is
+    compared against the class distribution of the whole crawl; classes
+    in ``exclude_kcids`` (the good topic itself and its subtree) are
+    skipped.  Returns co-topics ordered by decreasing lift.
+    """
+    best_leaf = {visit.url: visit.best_leaf_cid for visit in trace.visits}
+    overall = Counter(cid for cid in best_leaf.values() if cid is not None)
+    neighbourhood: Counter = Counter()
+    for url in good_urls:
+        if not web.has_page(url):
+            continue
+        for target in web.out_links(url):
+            target = normalize_url(target)
+            cid = best_leaf.get(target)
+            if cid is not None:
+                neighbourhood[cid] += 1
+    total_neighbourhood = sum(neighbourhood.values())
+    total_overall = sum(overall.values())
+    results: list[CoTopic] = []
+    if total_neighbourhood < min_neighbour_pages or total_overall == 0:
+        return results
+    for cid, count in neighbourhood.items():
+        if cid in exclude_kcids:
+            continue
+        share = count / total_neighbourhood
+        baseline = overall.get(cid, 0) / total_overall
+        lift = share / baseline if baseline > 0 else float("inf")
+        results.append(
+            CoTopic(
+                kcid=cid,
+                name=kcid_names.get(cid, str(cid)),
+                neighbourhood_share=share,
+                baseline_share=baseline,
+                lift=lift,
+            )
+        )
+    return sorted(results, key=lambda c: -c.lift)

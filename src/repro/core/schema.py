@@ -1,0 +1,82 @@
+"""Relational schemata for the Focus system (paper Figure 1).
+
+The crawl state lives in four tables shared by the crawler, the
+classifier, and the distiller:
+
+* ``CRAWL(oid, url, sid, relevance, numtries, serverload, lastvisited,
+  kcid, status)`` — one row per known URL; ``relevance`` holds the soft
+  focus R(u) (a probability in [0, 1]; the paper stores its logarithm),
+  ``numtries`` the fetch attempts, ``serverload`` the lazily updated
+  count of pages fetched from the same server, ``lastvisited`` the crawl
+  tick of the last successful fetch, ``kcid`` the best-matching leaf
+  class, and ``status`` one of ``frontier``/``visited``/``failed``/``dead``.
+* ``LINK(oid_src, sid_src, oid_dst, sid_dst, wgt_fwd, wgt_rev)`` — the
+  crawl graph with relevance-derived edge weights.
+* ``HUBS(oid, score)`` and ``AUTH(oid, score)`` — distillation scores.
+
+The classifier's own tables (``TAXONOMY``, ``DOCUMENT``, ``STAT_<c0>``,
+``BLOB``) are created by
+:class:`repro.classifier.training.ModelInstaller`.
+"""
+
+from __future__ import annotations
+
+from repro.minidb import Database, FLOAT, INTEGER, TEXT, make_schema
+
+#: Allowed values of CRAWL.status.
+CRAWL_STATUSES = ("frontier", "visited", "failed", "dead")
+
+
+def create_crawl_tables(database: Database) -> None:
+    """Create CRAWL, LINK, HUBS, and AUTH (idempotent)."""
+    if not database.has_table("CRAWL"):
+        database.create_table(
+            "CRAWL",
+            make_schema(
+                ("oid", INTEGER, False),
+                ("url", TEXT, False),
+                ("sid", INTEGER),
+                ("relevance", FLOAT),
+                ("numtries", INTEGER),
+                ("serverload", INTEGER),
+                ("lastvisited", INTEGER),
+                ("kcid", INTEGER),
+                ("status", TEXT),
+                primary_key=["oid"],
+            ),
+        )
+        crawl = database.table("CRAWL")
+        crawl.create_index("crawl_status", ["status"], kind="hash")
+        crawl.create_index("crawl_sid", ["sid"], kind="hash")
+    if not database.has_table("LINK"):
+        database.create_table(
+            "LINK",
+            make_schema(
+                ("oid_src", INTEGER, False),
+                ("sid_src", INTEGER),
+                ("oid_dst", INTEGER, False),
+                ("sid_dst", INTEGER),
+                ("wgt_fwd", FLOAT),
+                ("wgt_rev", FLOAT),
+            ),
+        )
+        link = database.table("LINK")
+        link.create_index("link_src", ["oid_src"], kind="hash")
+        link.create_index("link_dst", ["oid_dst"], kind="hash")
+    for score_table in ("HUBS", "AUTH"):
+        if not database.has_table(score_table):
+            database.create_table(
+                score_table,
+                make_schema(
+                    ("oid", INTEGER, False),
+                    ("score", FLOAT),
+                    primary_key=["oid"],
+                ),
+            )
+
+
+def create_focus_database(buffer_pool_pages: int = 2048) -> Database:
+    """A fresh database with the crawl tables created."""
+    database = Database(buffer_pool_pages=buffer_pool_pages)
+    create_crawl_tables(database)
+    return database

@@ -1,0 +1,236 @@
+"""FocusSystem: the user-facing facade tying every module together.
+
+A :class:`FocusSystem` owns a synthetic web (or accepts one), the topic
+taxonomy with its good-topic marking, the trained classifier, and runs
+crawls that persist their state in a minidb database — the full
+architecture of paper Figure 1.  Typical use::
+
+    from repro import FocusSystem, FocusConfig
+
+    system = FocusSystem.bootstrap(FocusConfig(good_topics=["recreation/cycling"]))
+    system.train()
+    result = system.crawl(max_pages=1000)
+    print(result.harvest_rate())
+    for url, score in result.top_hubs(5):
+        print(url, score)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.classifier.model import HierarchicalModel
+from repro.classifier.training import ClassifierTrainer, ModelInstaller, TrainingConfig
+from repro.crawler.focused import CrawlerConfig, CrawlTrace, FocusedCrawler
+from repro.crawler.monitor import CrawlMonitor
+from repro.crawler.unfocused import UnfocusedCrawler
+from repro.minidb import Database
+from repro.taxonomy.examples import ExampleStore, generate_examples
+from repro.taxonomy.tree import NodeMark, TopicTaxonomy
+from repro.webgraph.fetch import Fetcher
+from repro.webgraph.graph import SyntheticWebBuilder, WebGraph
+from repro.webgraph.urls import normalize_url
+
+from . import metrics
+from .config import FocusConfig
+from .schema import create_focus_database
+
+
+@dataclass
+class CrawlResult:
+    """A finished crawl plus everything needed to evaluate it."""
+
+    trace: CrawlTrace
+    database: Database
+    crawler: FocusedCrawler
+    web: WebGraph
+    taxonomy: TopicTaxonomy
+    seeds: List[str]
+    good_topics: List[str]
+
+    # -- headline metrics -------------------------------------------------------------
+    def harvest_rate(self, skip_first: int = 0) -> float:
+        """Average relevance of fetched pages (the paper's headline indicator)."""
+        return metrics.average_harvest_rate(self.trace, skip_first)
+
+    def harvest_series(self, window: int = 100) -> list[tuple[int, float]]:
+        return metrics.harvest_series(self.trace, window)
+
+    def pages_fetched(self) -> int:
+        return self.trace.pages_fetched
+
+    def ground_truth_precision(self) -> float:
+        """Fraction of fetched pages whose ground-truth topic is good/subsumed.
+
+        Available only because the substrate is synthetic; the paper has no
+        such oracle and relies on the classifier instead (§3.4).
+        """
+        relevant = self.web.relevant_pages(self.good_topics)
+        if not self.trace.fetched_urls:
+            return 0.0
+        hits = sum(1 for url in self.trace.fetched_urls if url in relevant)
+        return hits / len(self.trace.fetched_urls)
+
+    # -- distillation views --------------------------------------------------------------
+    def top_hubs(self, k: int = 10) -> list[tuple[str, float]]:
+        return self.crawler.top_hubs(k)
+
+    def top_authorities(self, k: int = 10) -> list[tuple[str, float]]:
+        return self.crawler.top_authorities(k)
+
+    def authority_distance_histogram(self, top_k: int = 100) -> Dict[int, int]:
+        """Figure 7: shortest crawl-found distances from the seed set to the top authorities."""
+        authorities = [url for url, _ in self.top_authorities(top_k)]
+        return metrics.crawl_distance_histogram(self.web, self.trace, self.seeds, authorities)
+
+    # -- monitoring ----------------------------------------------------------------------
+    def monitor(self) -> CrawlMonitor:
+        return CrawlMonitor(self.database)
+
+    def citation_sociology(self, relevance_threshold: float = 0.5) -> list[metrics.CoTopic]:
+        """§1's citation-sociology query: co-topics within one link of good pages."""
+        good_urls = {
+            visit.url
+            for visit in self.trace.visits
+            if visit.relevance > relevance_threshold
+        }
+        exclude = {
+            node.cid
+            for node in self.taxonomy.nodes()
+            if node.mark in (NodeMark.GOOD, NodeMark.SUBSUMED)
+        }
+        names = {node.cid: node.path or "root" for node in self.taxonomy.nodes()}
+        return metrics.citation_sociology(
+            self.trace, self.web, good_urls, names, exclude
+        )
+
+
+class FocusSystem:
+    """The resource-discovery system: web + taxonomy + classifier + crawls."""
+
+    def __init__(
+        self,
+        web: WebGraph,
+        taxonomy: TopicTaxonomy,
+        config: Optional[FocusConfig] = None,
+    ) -> None:
+        self.web = web
+        self.taxonomy = taxonomy
+        self.config = config or FocusConfig()
+        self.taxonomy.mark_good(list(self.config.good_topics))
+        self.examples: Optional[ExampleStore] = None
+        self.model: Optional[HierarchicalModel] = None
+
+    # -- construction -------------------------------------------------------------------
+    @classmethod
+    def bootstrap(cls, config: Optional[FocusConfig] = None, seed: Optional[int] = None) -> "FocusSystem":
+        """Build a synthetic web and a matching taxonomy, then wrap them in a system."""
+        config = config or FocusConfig()
+        builder = SyntheticWebBuilder(config.web, seed=seed)
+        web = builder.build()
+        taxonomy = TopicTaxonomy.from_topic_tree(web.topic_tree)
+        return cls(web, taxonomy, config)
+
+    @classmethod
+    def from_web(
+        cls,
+        web: WebGraph,
+        good_topics: Sequence[str],
+        config: Optional[FocusConfig] = None,
+    ) -> "FocusSystem":
+        """Wrap an existing synthetic web."""
+        config = (config or FocusConfig()).copy_with(good_topics=tuple(good_topics))
+        taxonomy = TopicTaxonomy.from_topic_tree(web.topic_tree)
+        return cls(web, taxonomy, config)
+
+    # -- training ----------------------------------------------------------------------------
+    def train(self, training_config: Optional[TrainingConfig] = None) -> HierarchicalModel:
+        """Generate example documents and train the hierarchical classifier."""
+        self.examples = generate_examples(
+            self.taxonomy,
+            self.web,
+            per_leaf=self.config.examples_per_leaf,
+            seed=self.config.seed,
+        )
+        trainer = ClassifierTrainer(self.taxonomy, self.examples, training_config)
+        self.model = trainer.train()
+        return self.model
+
+    def install_model(self, database: Database) -> None:
+        """Materialise the classifier statistics into a database (TAXONOMY/STAT/BLOB)."""
+        if self.model is None:
+            raise RuntimeError("call train() before install_model()")
+        ModelInstaller(database).install(self.model)
+
+    # -- good-topic administration ----------------------------------------------------------------
+    def mark_good(self, paths: Sequence[str]) -> None:
+        """Replace the good-topic set (requires retraining only if topics are new leaves)."""
+        self.config = self.config.copy_with(good_topics=tuple(paths))
+        self.taxonomy.mark_good(list(paths))
+
+    def add_good_topic(self, path: str) -> None:
+        """The §3.7 stagnation fix: additionally mark *path* good."""
+        self.taxonomy.add_good(path)
+        self.config = self.config.copy_with(
+            good_topics=tuple(n.path for n in self.taxonomy.good_nodes())
+        )
+
+    # -- seeds --------------------------------------------------------------------------------
+    def default_seeds(self, count: Optional[int] = None, exclude: Iterable[str] = ()) -> List[str]:
+        """Simulated keyword-search + distillation seeds for the primary good topic."""
+        count = count if count is not None else self.config.seed_count
+        rng = np.random.default_rng(self.config.seed + 101)
+        return self.web.keyword_seed_pages(
+            self.config.good_topics[0], count=count, rng=rng, exclude=exclude
+        )
+
+    # -- crawling -------------------------------------------------------------------------------
+    def crawl(
+        self,
+        max_pages: Optional[int] = None,
+        seeds: Optional[Sequence[str]] = None,
+        focused: bool = True,
+        crawler_config: Optional[CrawlerConfig] = None,
+        database: Optional[Database] = None,
+        fetch_failure_seed: int = 0,
+    ) -> CrawlResult:
+        """Run one crawl (focused by default) and return its result bundle.
+
+        Each crawl gets its own database unless one is supplied, so repeated
+        runs (reference vs. test crawls, focused vs. unfocused) never share
+        frontier state.
+        """
+        if self.model is None:
+            self.train()
+        config = crawler_config or CrawlerConfig(
+            max_pages=self.config.crawler.max_pages,
+            focus_mode=self.config.crawler.focus_mode,
+            distill_every=self.config.crawler.distill_every,
+            rho=self.config.crawler.rho,
+        )
+        if max_pages is not None:
+            config.max_pages = max_pages
+        database = database or create_focus_database(self.config.buffer_pool_pages)
+        if not database.has_table("TAXONOMY"):
+            # The crawl database also carries the classifier tables, as in the
+            # paper's single-DB architecture (and so monitoring SQL can join
+            # CRAWL against TAXONOMY).
+            self.install_model(database)
+        fetcher = Fetcher(self.web, failure_seed=fetch_failure_seed)
+        crawler_cls = FocusedCrawler if focused else UnfocusedCrawler
+        crawler = crawler_cls(fetcher, self.model, self.taxonomy, database, config)
+        seed_urls = [normalize_url(u) for u in (seeds if seeds is not None else self.default_seeds())]
+        crawler.add_seeds(seed_urls)
+        trace = crawler.crawl()
+        return CrawlResult(
+            trace=trace,
+            database=database,
+            crawler=crawler,
+            web=self.web,
+            taxonomy=self.taxonomy,
+            seeds=seed_urls,
+            good_topics=list(self.config.good_topics),
+        )

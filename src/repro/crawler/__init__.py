@@ -1,0 +1,36 @@
+"""crawler: frontier management, the focused crawl loop, the unfocused baseline, monitoring."""
+
+from .focused import CrawlerConfig, CrawlTrace, FocusedCrawler, PageVisit
+from .frontier import Frontier, FrontierEntry
+from .monitor import CrawlMonitor, StagnationReport
+from .policies import (
+    ORDERINGS,
+    CrawlOrdering,
+    aggressive_discovery,
+    breadth_first,
+    crawl_maintenance,
+    ordering_by_name,
+    recovery_ordering,
+    relevance_only,
+)
+from .unfocused import UnfocusedCrawler
+
+__all__ = [
+    "CrawlMonitor",
+    "CrawlOrdering",
+    "CrawlTrace",
+    "CrawlerConfig",
+    "FocusedCrawler",
+    "Frontier",
+    "FrontierEntry",
+    "ORDERINGS",
+    "PageVisit",
+    "StagnationReport",
+    "UnfocusedCrawler",
+    "aggressive_discovery",
+    "breadth_first",
+    "crawl_maintenance",
+    "ordering_by_name",
+    "recovery_ordering",
+    "relevance_only",
+]

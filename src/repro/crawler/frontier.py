@@ -1,0 +1,252 @@
+"""The crawl frontier: unvisited URLs prioritised by a crawl ordering.
+
+The authoritative record of every known URL is the CRAWL table (so ad-hoc
+SQL can inspect the frontier and so triggers/monitoring work as in the
+paper).  The Frontier keeps an in-memory priority heap mirroring the
+ordering over frontier-status rows — the role an index ordering plays in
+DB2 — with lazy invalidation when priorities change.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping, Optional
+
+from repro.minidb import Database
+from repro.minidb.pages import RecordId
+from repro.webgraph.urls import normalize_url, server_sid, url_oid
+
+from .policies import CrawlOrdering, aggressive_discovery
+
+
+@dataclass
+class FrontierEntry:
+    """In-memory mirror of one CRAWL row plus bookkeeping for ordering."""
+
+    url: str
+    oid: int
+    sid: int
+    relevance: float = 0.0
+    numtries: int = 0
+    serverload: int = 0
+    discovered: int = 0
+    lastvisited: Optional[int] = None
+    hub_score: float = 0.0
+    authority_score: float = 0.0
+    status: str = "frontier"
+    rid: Optional[RecordId] = None
+
+    def as_record(self) -> Dict[str, Any]:
+        return {
+            "relevance": self.relevance,
+            "numtries": self.numtries,
+            "serverload": self.serverload,
+            "discovered": self.discovered,
+            "lastvisited": self.lastvisited,
+            "hub_score": self.hub_score,
+            "authority_score": self.authority_score,
+        }
+
+
+class Frontier:
+    """Priority frontier backed by the CRAWL table."""
+
+    def __init__(
+        self,
+        database: Database,
+        ordering: Optional[CrawlOrdering] = None,
+    ) -> None:
+        self.database = database
+        self.ordering = ordering or aggressive_discovery()
+        self._entries: Dict[str, FrontierEntry] = {}
+        self._server_load: Dict[int, int] = {}
+        self._heap: list[tuple[tuple, int, str]] = []
+        self._counter = itertools.count()
+        self._discovered = itertools.count()
+
+    # -- policy ------------------------------------------------------------------
+    def set_ordering(self, ordering: CrawlOrdering) -> None:
+        """Switch crawl policy dynamically (the paper's one-line policy change)."""
+        self.ordering = ordering
+        self._rebuild_heap()
+
+    def _rebuild_heap(self) -> None:
+        self._heap = []
+        for url, entry in self._entries.items():
+            if entry.status == "frontier":
+                self._push(entry)
+
+    # -- membership --------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for e in self._entries.values() if e.status == "frontier")
+
+    def __contains__(self, url: str) -> bool:
+        return normalize_url(url) in self._entries
+
+    def known_urls(self) -> list[str]:
+        return list(self._entries)
+
+    def entry(self, url: str) -> FrontierEntry:
+        return self._entries[normalize_url(url)]
+
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    # -- adding and updating ----------------------------------------------------------------
+    def add_url(self, url: str, relevance: float = 0.0) -> FrontierEntry:
+        """Register a URL; raises its priority if it is already known and unvisited.
+
+        ``relevance`` here is the *crawl priority* of the unvisited page —
+        for soft focus, the relevance of the page(s) citing it.
+        """
+        normalized = normalize_url(url)
+        existing = self._entries.get(normalized)
+        if existing is not None:
+            if existing.status == "frontier" and relevance > existing.relevance:
+                existing.relevance = relevance
+                self._sync_row(existing, {"relevance": relevance})
+                self._push(existing)
+            return existing
+        oid = url_oid(normalized)
+        sid = server_sid(normalized)
+        entry = FrontierEntry(
+            url=normalized,
+            oid=oid,
+            sid=sid,
+            relevance=relevance,
+            serverload=self._server_load.get(sid, 0),
+            discovered=next(self._discovered),
+        )
+        crawl = self.database.table("CRAWL")
+        entry.rid = crawl.insert(
+            {
+                "oid": oid,
+                "url": normalized,
+                "sid": sid,
+                "relevance": relevance,
+                "numtries": 0,
+                "serverload": entry.serverload,
+                "lastvisited": None,
+                "kcid": None,
+                "status": "frontier",
+            }
+        )
+        self._entries[normalized] = entry
+        self._push(entry)
+        return entry
+
+    def add_seed(self, url: str) -> FrontierEntry:
+        """Seeds (the examples D(C*)) enter with maximal priority."""
+        return self.add_url(url, relevance=1.0)
+
+    def boost(self, url: str, relevance: float) -> None:
+        """Raise the priority of an unvisited URL (used by hub-neighbour boosting)."""
+        normalized = normalize_url(url)
+        entry = self._entries.get(normalized)
+        if entry is None or entry.status != "frontier":
+            return
+        if relevance > entry.relevance:
+            entry.relevance = relevance
+            self._sync_row(entry, {"relevance": relevance})
+            self._push(entry)
+
+    def update_scores(self, url: str, hub_score: float = 0.0, authority_score: float = 0.0) -> None:
+        """Attach distillation scores (used by maintenance orderings)."""
+        entry = self._entries.get(normalize_url(url))
+        if entry is None:
+            return
+        entry.hub_score = hub_score
+        entry.authority_score = authority_score
+        if entry.status == "frontier":
+            self._push(entry)
+
+    def record_failure(self, url: str, max_retries: int, permanent: bool = False) -> None:
+        """Record a failed fetch; the URL is retried unless exhausted or permanent."""
+        entry = self.entry(url)
+        entry.numtries += 1
+        if permanent or entry.numtries > max_retries:
+            entry.status = "dead"
+        else:
+            entry.status = "frontier"
+            self._push(entry)
+        self._sync_row(entry, {"numtries": entry.numtries, "status": entry.status})
+
+    def record_visit(
+        self,
+        url: str,
+        relevance: float,
+        tick: int,
+        kcid: Optional[int] = None,
+    ) -> FrontierEntry:
+        """Mark a URL visited, store its measured relevance and best leaf class."""
+        entry = self.entry(url)
+        entry.status = "visited"
+        entry.relevance = relevance
+        entry.numtries += 1
+        entry.lastvisited = tick
+        self._server_load[entry.sid] = self._server_load.get(entry.sid, 0) + 1
+        entry.serverload = self._server_load[entry.sid]
+        self._sync_row(
+            entry,
+            {
+                "relevance": relevance,
+                "numtries": entry.numtries,
+                "lastvisited": tick,
+                "kcid": kcid,
+                "status": "visited",
+                "serverload": entry.serverload,
+            },
+        )
+        return entry
+
+    # -- popping --------------------------------------------------------------------------
+    def pop_next(self) -> Optional[str]:
+        """Return the best frontier URL under the current ordering, or None if empty.
+
+        Stale heap entries (priority changed or URL no longer in frontier
+        state) are discarded lazily.
+        """
+        while self._heap:
+            key, _seq, url = heapq.heappop(self._heap)
+            entry = self._entries.get(url)
+            if entry is None or entry.status != "frontier":
+                continue
+            current_key = self._current_key(entry)
+            if key != current_key:
+                # Priority changed since this entry was pushed (e.g. the
+                # lazily-updated serverload moved): re-queue at the current
+                # priority instead of losing the URL.
+                self._push(entry)
+                continue
+            entry.status = "in_flight"
+            return url
+        return None
+
+    def requeue(self, url: str) -> None:
+        """Return an in-flight URL to the frontier (e.g. after a transient failure)."""
+        entry = self.entry(url)
+        if entry.status == "in_flight":
+            entry.status = "frontier"
+            self._push(entry)
+
+    # -- internals ------------------------------------------------------------------------------
+    def _current_key(self, entry: FrontierEntry) -> tuple:
+        record = entry.as_record()
+        # The crude, lazily-updated serverload of the paper: read the shared
+        # per-server counter at key-construction time.
+        record["serverload"] = self._server_load.get(entry.sid, 0)
+        return self.ordering.sort_key(record)
+
+    def _push(self, entry: FrontierEntry) -> None:
+        heapq.heappush(self._heap, (self._current_key(entry), next(self._counter), entry.url))
+
+    def _sync_row(self, entry: FrontierEntry, changes: Mapping[str, Any]) -> None:
+        if entry.rid is None:
+            return
+        # ``in_flight`` is frontier-internal; the table only knows the paper's states.
+        changes = dict(changes)
+        if changes.get("status") == "in_flight":
+            changes["status"] = "frontier"
+        self.database.table("CRAWL").update_row(entry.rid, changes)

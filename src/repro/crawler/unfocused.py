@@ -1,0 +1,42 @@
+"""The unfocused baseline crawler (paper Figure 5a).
+
+A "standard crawler" in the paper's comparison: it starts from exactly
+the same highly relevant seed URLs as the focused crawler, still runs the
+classifier so the relevance of what it fetches can be *measured*, but
+ignores relevance entirely when choosing what to fetch next — it simply
+expands pages in breadth-first (discovery) order.  On a web where
+relevant pages are a small minority this crawler is "completely lost
+within the next hundred page fetches".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.classifier.model import HierarchicalModel
+from repro.minidb import Database
+from repro.taxonomy.tree import TopicTaxonomy
+from repro.webgraph.fetch import Fetcher
+
+from .focused import CrawlerConfig, FocusedCrawler
+from .policies import breadth_first
+
+
+class UnfocusedCrawler(FocusedCrawler):
+    """A standard breadth-first crawler with relevance measurement only."""
+
+    def __init__(
+        self,
+        fetcher: Fetcher,
+        classifier: HierarchicalModel,
+        taxonomy: TopicTaxonomy,
+        database: Database,
+        config: Optional[CrawlerConfig] = None,
+    ) -> None:
+        config = config or CrawlerConfig()
+        config.focus_mode = "none"
+        if config.ordering is None:
+            config.ordering = breadth_first()
+        # An unfocused crawler has no use for distillation-driven priorities.
+        config.distill_every = 0
+        super().__init__(fetcher, classifier, taxonomy, database, config)

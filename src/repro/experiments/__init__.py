@@ -1,0 +1,34 @@
+"""experiments: regeneration of every figure in the paper's evaluation (§3).
+
+* :mod:`repro.experiments.fig5_harvest` — harvest rate, focused vs unfocused, plus the §3.7 stagnation scenario.
+* :mod:`repro.experiments.fig6_coverage` — URL and server coverage from disjoint seed sets.
+* :mod:`repro.experiments.fig7_distance` — distance histogram of the top authorities and the hub list.
+* :mod:`repro.experiments.fig8_io` — classifier and distiller I/O performance (all four panels).
+* :mod:`repro.experiments.runner` — CLI that prints every figure's rows.
+"""
+
+from .workloads import (
+    CYCLING,
+    FIRST_AID,
+    INVESTMENT,
+    MUTUAL_FUNDS,
+    CrawlWorkload,
+    build_crawl_web,
+    build_crawl_workload,
+    crawl_focus_config,
+    crawl_web_config,
+    io_web_config,
+)
+
+__all__ = [
+    "CYCLING",
+    "CrawlWorkload",
+    "FIRST_AID",
+    "INVESTMENT",
+    "MUTUAL_FUNDS",
+    "build_crawl_web",
+    "build_crawl_workload",
+    "crawl_focus_config",
+    "crawl_web_config",
+    "io_web_config",
+]

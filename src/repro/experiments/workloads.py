@@ -1,0 +1,133 @@
+"""Canonical synthetic-web workloads shared by every experiment and benchmark.
+
+The paper's crawls ran against the 1999 Web with topics such as cycling
+and mutual funds; these helpers build the laptop-scale stand-ins used to
+regenerate each figure.  All parameters are deterministic functions of
+the seed, so experiments are repeatable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import FocusConfig
+from repro.core.system import FocusSystem
+from repro.crawler.focused import CrawlerConfig
+from repro.webgraph.graph import SyntheticWebBuilder, WebConfig, WebGraph
+
+#: The good topic used by the headline experiments ("cycling" in the paper).
+CYCLING = "recreation/cycling"
+#: The stagnation-scenario topic ("mutual funds" in §3.7).
+MUTUAL_FUNDS = "business/investment/mutual_funds"
+#: Its parent, whose marking fixes the stagnation ("investment in general").
+INVESTMENT = "business/investment"
+#: The co-topic of the §1 citation-sociology example ("first aid").
+FIRST_AID = "health/first_aid"
+
+
+def crawl_web_config(seed: int = 7, scale: float = 1.0) -> WebConfig:
+    """The web used for the crawling experiments (Figures 5, 6, 7).
+
+    The good-topic community is made much larger than the crawl budget
+    (as on the real web) and linked with a locality window so that it has
+    a large diameter; every other topic stays small, and a sizeable
+    background web surrounds everything.
+    """
+    return WebConfig(
+        seed=seed,
+        pages_per_topic=max(40, int(130 * scale)),
+        topic_page_overrides={
+            CYCLING: max(200, int(1000 * scale)),
+            MUTUAL_FUNDS: max(80, int(260 * scale)),
+        },
+        mean_doc_length=80,
+        background_pages=max(500, int(7000 * scale)),
+        servers_per_topic=8,
+        background_servers=48,
+        pages_per_server=10,
+        popular_sites=15,
+        p_same_topic=0.50,
+        p_related_topic=0.12,
+        p_popular=0.15,
+        link_locality_window=20,
+        hub_locality_multiplier=3,
+        seed_region_fraction=0.12,
+        cotopic_links={CYCLING: FIRST_AID},
+    )
+
+
+def io_web_config(seed: int = 7) -> WebConfig:
+    """The web behind the classifier I/O experiments (Figure 8a–c).
+
+    What matters here is the *size of the classifier's statistics tables*
+    relative to the buffer pool, so the vocabulary is made much larger
+    than in the crawling workload (the paper's Yahoo!-scale models were
+    ~350 MB and did not fit in memory).
+    """
+    return WebConfig(
+        seed=seed,
+        pages_per_topic=60,
+        background_pages=300,
+        mean_doc_length=150,
+        vocabulary_background_size=2500,
+        vocabulary_terms_per_topic=220,
+    )
+
+
+def distillation_web_config(seed: int = 7) -> WebConfig:
+    """The web behind the distillation I/O experiment (Figure 8d).
+
+    The crawl graph must be large enough that the CRAWL and LINK tables
+    dwarf the buffer pool, so per-edge index lookups actually pay random
+    I/O.  Page text is irrelevant, so documents are kept very short.
+    """
+    return WebConfig(
+        seed=seed,
+        pages_per_topic=250,
+        background_pages=2500,
+        mean_doc_length=30,
+        out_degree_mean=10.0,
+    )
+
+
+def build_crawl_web(seed: int = 7, scale: float = 1.0) -> WebGraph:
+    return SyntheticWebBuilder(crawl_web_config(seed, scale)).build()
+
+
+def crawl_focus_config(
+    good_topic: str = CYCLING,
+    max_pages: int = 1200,
+    examples_per_leaf: int = 30,
+) -> FocusConfig:
+    """FocusConfig matching the crawling experiments."""
+    return FocusConfig(
+        good_topics=(good_topic,),
+        examples_per_leaf=examples_per_leaf,
+        seed_count=24,
+        crawler=CrawlerConfig(max_pages=max_pages, distill_every=200),
+    )
+
+
+@dataclass
+class CrawlWorkload:
+    """A ready-to-crawl system: web built, taxonomy marked, classifier trained."""
+
+    system: FocusSystem
+    web: WebGraph
+    good_topic: str
+
+
+def build_crawl_workload(
+    seed: int = 7,
+    scale: float = 1.0,
+    good_topic: str = CYCLING,
+    max_pages: int = 1200,
+    web: Optional[WebGraph] = None,
+) -> CrawlWorkload:
+    """Build (or reuse) the crawl web and return a trained FocusSystem over it."""
+    web = web if web is not None else build_crawl_web(seed, scale)
+    config = crawl_focus_config(good_topic=good_topic, max_pages=max_pages)
+    system = FocusSystem.from_web(web, [good_topic], config)
+    system.train()
+    return CrawlWorkload(system=system, web=web, good_topic=good_topic)

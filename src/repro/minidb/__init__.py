@@ -1,0 +1,96 @@
+"""minidb: the relational-engine substrate for the Focus reproduction.
+
+The paper implements its focused crawler, classifier, and distiller as
+clients of IBM DB2, and argues that the database is "not merely a robust
+data repository, but takes an active role in the computations involved in
+resource discovery."  minidb is a small page-based relational engine that
+plays DB2's role here: tables on slotted pages behind an LRU buffer pool
+with full I/O accounting, hash and ordered secondary indexes, a library
+of relational operators (including sort-merge and left outer joins), a
+fluent query builder, a compact SQL dialect for ad-hoc monitoring
+queries, and statement triggers.
+
+Typical use::
+
+    from repro.minidb import Database, make_schema, INTEGER, FLOAT, col, lit
+
+    db = Database(buffer_pool_pages=512)
+    crawl = db.create_table("CRAWL", make_schema(
+        ("oid", INTEGER, False), ("relevance", FLOAT), primary_key=["oid"]))
+    crawl.insert({"oid": 1, "relevance": 0.9})
+    rows = db.query("CRAWL").where(col("relevance") > lit(0.5)).run()
+"""
+
+from .buffer_pool import BufferPool, IOStats
+from .database import Database
+from .errors import (
+    BufferPoolError,
+    CatalogError,
+    ConstraintError,
+    MiniDBError,
+    QueryError,
+    SchemaError,
+    SQLSyntaxError,
+    StorageError,
+)
+from .expressions import (
+    Expression,
+    and_,
+    col,
+    func,
+    in_set,
+    is_null,
+    lit,
+    not_,
+    or_,
+)
+from .index import HashIndex, OrderedIndex
+from .operators import Aggregate
+from .pages import DEFAULT_PAGE_SIZE, PageId, RecordId
+from .query import Query
+from .sql import execute_sql, parse_sql
+from .table import Table
+from .triggers import Trigger
+from .types import BLOB, FLOAT, INTEGER, TEXT, Column, ColumnType, Schema, make_schema
+
+__all__ = [
+    "Aggregate",
+    "BLOB",
+    "BufferPool",
+    "BufferPoolError",
+    "CatalogError",
+    "Column",
+    "ColumnType",
+    "ConstraintError",
+    "Database",
+    "DEFAULT_PAGE_SIZE",
+    "Expression",
+    "FLOAT",
+    "HashIndex",
+    "INTEGER",
+    "IOStats",
+    "MiniDBError",
+    "OrderedIndex",
+    "PageId",
+    "Query",
+    "QueryError",
+    "RecordId",
+    "Schema",
+    "SchemaError",
+    "SQLSyntaxError",
+    "StorageError",
+    "TEXT",
+    "Table",
+    "Trigger",
+    "and_",
+    "col",
+    "execute_sql",
+    "func",
+    "in_set",
+    "is_null",
+    "lit",
+    "make_schema",
+    "not_",
+    "or_",
+    "parse_sql",
+]

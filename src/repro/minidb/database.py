@@ -1,0 +1,122 @@
+"""The Database: a catalog of tables sharing one buffer pool, plus triggers and SQL.
+
+This is the top-level object the Focus system talks to — the stand-in
+for the paper's DB2 Universal Database instance.  It owns:
+
+* a :class:`~repro.minidb.buffer_pool.BufferPool` (shared across all
+  tables so the Figure 8(b) memory-scaling sweep controls a single knob),
+* the table catalog (create/drop/lookup),
+* the trigger registry,
+* entry points for the fluent :class:`~repro.minidb.query.Query` builder
+  and the SQL text interface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from .buffer_pool import BufferPool, IOStats
+from .errors import CatalogError
+from .pages import DEFAULT_PAGE_SIZE
+from .query import Query
+from .table import Table
+from .triggers import Trigger, TriggerAction, TriggerRegistry
+from .types import Schema
+
+
+class Database:
+    """An in-process relational database instance."""
+
+    def __init__(
+        self,
+        buffer_pool_pages: int = 256,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> None:
+        self.stats = IOStats()
+        self.buffer_pool = BufferPool(buffer_pool_pages, self.stats)
+        self.page_size = page_size
+        self.triggers = TriggerRegistry()
+        self._tables: dict[str, Table] = {}
+        self._next_file_id = 0
+
+    # -- catalog -------------------------------------------------------------
+    def create_table(self, name: str, schema: Schema) -> Table:
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        table = Table(name, schema, self._next_file_id, self.buffer_pool, self.page_size)
+        self._next_file_id += 1
+        table.add_mutation_listener(self._on_mutation)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        table = self.table(name)
+        table.truncate()
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(
+                f"no table named {name!r}; have {sorted(self._tables)}"
+            ) from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    # -- triggers -------------------------------------------------------------
+    def create_trigger(
+        self,
+        name: str,
+        table_name: str,
+        action: TriggerAction,
+        events: Sequence[str] = ("insert", "update", "delete"),
+        every_n_rows: int = 1,
+    ) -> Trigger:
+        self.table(table_name)  # validate the table exists
+        trigger = Trigger(
+            name=name,
+            table_name=table_name,
+            action=action,
+            events=tuple(events),
+            every_n_rows=every_n_rows,
+        )
+        return self.triggers.register(trigger)
+
+    def drop_trigger(self, name: str) -> None:
+        self.triggers.drop(name)
+
+    def _on_mutation(self, event: str, table: Table, rows: list) -> None:
+        self.triggers.notify(event, table.name, rows)
+
+    # -- querying -----------------------------------------------------------------
+    def query(self, source: str | Iterable[Mapping[str, Any]], alias: Optional[str] = None) -> Query:
+        """Start a fluent query from a table name or a materialised row iterable."""
+        return Query(self, source, alias)
+
+    def sql(self, text: str, parameters: Optional[Mapping[str, Any]] = None) -> list[dict[str, Any]]:
+        """Execute a SQL statement (the compact dialect in :mod:`repro.minidb.sql`)."""
+        from .sql import execute_sql
+
+        return execute_sql(self, text, parameters or {})
+
+    # -- maintenance ------------------------------------------------------------------
+    def resize_buffer_pool(self, capacity_pages: int) -> None:
+        self.buffer_pool.resize(capacity_pages)
+
+    def clear_cache(self) -> None:
+        """Evict all cached pages (cold-start a measurement)."""
+        self.buffer_pool.clear_cache()
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+
+    def io_snapshot(self) -> dict[str, float]:
+        return self.stats.snapshot()
+
+    def total_pages(self) -> int:
+        return sum(t.page_count for t in self._tables.values())

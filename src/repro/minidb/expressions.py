@@ -1,0 +1,365 @@
+"""A small typed expression tree used by predicates, projections, and updates.
+
+Expressions are evaluated against a *row context*: a mapping from column
+name to value.  Qualified names (``"CRAWL.oid"``) and bare names
+(``"oid"``) are both supported; joins produce contexts keyed by the
+qualified form with bare-name aliases when unambiguous.
+
+The expression language covers what the paper's SQL snippets need:
+comparisons, boolean connectives, arithmetic, ``IN`` (including
+subquery results materialised to a set), ``COALESCE``, ``EXP``/``LOG``,
+and NULL-aware semantics (any comparison with NULL is false, as in SQL's
+three-valued logic collapsed to "unknown = not matched").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from .errors import QueryError
+
+RowContext = Mapping[str, Any]
+
+
+class Expression:
+    """Base class for all expressions."""
+
+    def evaluate(self, ctx: RowContext) -> Any:
+        raise NotImplementedError
+
+    def referenced_columns(self) -> set[str]:
+        """Column names referenced anywhere in the expression."""
+        return set()
+
+    # Convenience builders so callers can write ``col("x") > lit(3)``.
+    def __eq__(self, other: object):  # type: ignore[override]
+        return Comparison("=", self, _wrap(other))
+
+    def __ne__(self, other: object):  # type: ignore[override]
+        return Comparison("<>", self, _wrap(other))
+
+    def __lt__(self, other: object):
+        return Comparison("<", self, _wrap(other))
+
+    def __le__(self, other: object):
+        return Comparison("<=", self, _wrap(other))
+
+    def __gt__(self, other: object):
+        return Comparison(">", self, _wrap(other))
+
+    def __ge__(self, other: object):
+        return Comparison(">=", self, _wrap(other))
+
+    def __add__(self, other: object):
+        return Arithmetic("+", self, _wrap(other))
+
+    def __sub__(self, other: object):
+        return Arithmetic("-", self, _wrap(other))
+
+    def __mul__(self, other: object):
+        return Arithmetic("*", self, _wrap(other))
+
+    def __truediv__(self, other: object):
+        return Arithmetic("/", self, _wrap(other))
+
+    def __neg__(self):
+        return Arithmetic("-", Literal(0), self)
+
+    def __hash__(self) -> int:  # expressions are identity-hashed
+        return id(self)
+
+
+def _wrap(value: object) -> "Expression":
+    if isinstance(value, Expression):
+        return value
+    return Literal(value)
+
+
+@dataclass(eq=False)
+class Literal(Expression):
+    """A constant value."""
+
+    value: Any
+
+    def evaluate(self, ctx: RowContext) -> Any:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+@dataclass(eq=False)
+class ColumnRef(Expression):
+    """A reference to a column by (possibly qualified) name."""
+
+    name: str
+
+    def evaluate(self, ctx: RowContext) -> Any:
+        if self.name in ctx:
+            return ctx[self.name]
+        # Fall back: a bare name matching exactly one qualified key.
+        if "." not in self.name:
+            matches = [k for k in ctx if k.endswith("." + self.name)]
+            if len(matches) == 1:
+                return ctx[matches[0]]
+            if len(matches) > 1:
+                raise QueryError(f"ambiguous column {self.name!r}: {sorted(matches)}")
+        else:
+            bare = self.name.split(".", 1)[1]
+            if bare in ctx:
+                return ctx[bare]
+        raise QueryError(f"unknown column {self.name!r}; row has {sorted(ctx)}")
+
+    def referenced_columns(self) -> set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+@dataclass(eq=False)
+class Comparison(Expression):
+    """Binary comparison with SQL NULL semantics (NULL never matches)."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    _OPS: dict[str, Callable[[Any, Any], bool]] = None  # type: ignore[assignment]
+
+    def evaluate(self, ctx: RowContext) -> bool:
+        lhs = self.left.evaluate(ctx)
+        rhs = self.right.evaluate(ctx)
+        if lhs is None or rhs is None:
+            return False
+        if self.op == "=":
+            return lhs == rhs
+        if self.op in ("<>", "!="):
+            return lhs != rhs
+        if self.op == "<":
+            return lhs < rhs
+        if self.op == "<=":
+            return lhs <= rhs
+        if self.op == ">":
+            return lhs > rhs
+        if self.op == ">=":
+            return lhs >= rhs
+        raise QueryError(f"unknown comparison operator {self.op!r}")
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(eq=False)
+class Arithmetic(Expression):
+    """Binary arithmetic; NULL operands propagate to NULL."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def evaluate(self, ctx: RowContext) -> Any:
+        lhs = self.left.evaluate(ctx)
+        rhs = self.right.evaluate(ctx)
+        if lhs is None or rhs is None:
+            return None
+        if self.op == "+":
+            return lhs + rhs
+        if self.op == "-":
+            return lhs - rhs
+        if self.op == "*":
+            return lhs * rhs
+        if self.op == "/":
+            if rhs == 0:
+                raise QueryError("division by zero")
+            return lhs / rhs
+        raise QueryError(f"unknown arithmetic operator {self.op!r}")
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(eq=False)
+class And(Expression):
+    parts: Sequence[Expression]
+
+    def evaluate(self, ctx: RowContext) -> bool:
+        return all(bool(p.evaluate(ctx)) for p in self.parts)
+
+    def referenced_columns(self) -> set[str]:
+        out: set[str] = set()
+        for p in self.parts:
+            out |= p.referenced_columns()
+        return out
+
+    def __repr__(self) -> str:
+        return " AND ".join(repr(p) for p in self.parts)
+
+
+@dataclass(eq=False)
+class Or(Expression):
+    parts: Sequence[Expression]
+
+    def evaluate(self, ctx: RowContext) -> bool:
+        return any(bool(p.evaluate(ctx)) for p in self.parts)
+
+    def referenced_columns(self) -> set[str]:
+        out: set[str] = set()
+        for p in self.parts:
+            out |= p.referenced_columns()
+        return out
+
+    def __repr__(self) -> str:
+        return " OR ".join(repr(p) for p in self.parts)
+
+
+@dataclass(eq=False)
+class Not(Expression):
+    inner: Expression
+
+    def evaluate(self, ctx: RowContext) -> bool:
+        return not bool(self.inner.evaluate(ctx))
+
+    def referenced_columns(self) -> set[str]:
+        return self.inner.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"NOT ({self.inner!r})"
+
+
+@dataclass(eq=False)
+class IsNull(Expression):
+    inner: Expression
+    negated: bool = False
+
+    def evaluate(self, ctx: RowContext) -> bool:
+        result = self.inner.evaluate(ctx) is None
+        return not result if self.negated else result
+
+    def referenced_columns(self) -> set[str]:
+        return self.inner.referenced_columns()
+
+
+@dataclass(eq=False)
+class InSet(Expression):
+    """``expr IN (v1, v2, ...)`` — values may come from a materialised subquery."""
+
+    inner: Expression
+    values: Iterable[Any]
+    negated: bool = False
+
+    def evaluate(self, ctx: RowContext) -> bool:
+        value = self.inner.evaluate(ctx)
+        if value is None:
+            return False
+        values = self.values() if callable(self.values) else self.values
+        result = value in set(values)
+        return not result if self.negated else result
+
+    def referenced_columns(self) -> set[str]:
+        return self.inner.referenced_columns()
+
+
+@dataclass(eq=False)
+class FunctionCall(Expression):
+    """Scalar function application.
+
+    Supported: ``coalesce``, ``exp``, ``log``, ``abs``, ``min``, ``max``,
+    ``length``.  This covers the monitoring queries in §3.7 of the paper
+    (e.g. ``avg(exp(relevance))`` combines :class:`FunctionCall` with the
+    aggregation layer in :mod:`repro.minidb.operators`).
+    """
+
+    name: str
+    args: Sequence[Expression]
+
+    def evaluate(self, ctx: RowContext) -> Any:
+        name = self.name.lower()
+        values = [a.evaluate(ctx) for a in self.args]
+        if name == "coalesce":
+            for v in values:
+                if v is not None:
+                    return v
+            return None
+        if any(v is None for v in values):
+            return None
+        if name == "exp":
+            return math.exp(values[0])
+        if name == "log":
+            if values[0] <= 0:
+                raise QueryError("log of non-positive value")
+            return math.log(values[0])
+        if name == "abs":
+            return abs(values[0])
+        if name == "min":
+            return min(values)
+        if name == "max":
+            return max(values)
+        if name == "length":
+            return len(values[0])
+        if name == "floor":
+            return math.floor(values[0])
+        if name == "ceil":
+            return math.ceil(values[0])
+        if name == "sqrt":
+            return math.sqrt(values[0])
+        raise QueryError(f"unknown function {self.name!r}")
+
+    def referenced_columns(self) -> set[str]:
+        out: set[str] = set()
+        for a in self.args:
+            out |= a.referenced_columns()
+        return out
+
+
+# -- public helpers -----------------------------------------------------------
+
+def col(name: str) -> ColumnRef:
+    """Shorthand for :class:`ColumnRef`."""
+    return ColumnRef(name)
+
+
+def lit(value: Any) -> Literal:
+    """Shorthand for :class:`Literal`."""
+    return Literal(value)
+
+
+def func(name: str, *args: Expression | Any) -> FunctionCall:
+    return FunctionCall(name, [_wrap(a) for a in args])
+
+
+def and_(*parts: Expression) -> Expression:
+    parts = tuple(p for p in parts if p is not None)
+    if not parts:
+        return Literal(True)
+    if len(parts) == 1:
+        return parts[0]
+    return And(parts)
+
+
+def or_(*parts: Expression) -> Expression:
+    if not parts:
+        return Literal(False)
+    if len(parts) == 1:
+        return parts[0]
+    return Or(parts)
+
+
+def not_(inner: Expression) -> Not:
+    return Not(inner)
+
+
+def in_set(inner: Expression, values: Iterable[Any], negated: bool = False) -> InSet:
+    return InSet(inner, values, negated)
+
+
+def is_null(inner: Expression, negated: bool = False) -> IsNull:
+    return IsNull(inner, negated)

@@ -1,0 +1,494 @@
+"""Relational operators as composable iterators.
+
+Every operator consumes and produces *row contexts*: dicts mapping
+(possibly qualified) column names to values.  Qualified keys use the
+table alias (``"CRAWL.oid"``); when a bare name is unambiguous it is
+also available through :class:`~repro.minidb.expressions.ColumnRef`'s
+fallback resolution.
+
+The operator set covers what the paper's SQL needs:
+
+* table scan / index scan
+* filter, project (with computed expressions), distinct, sort, limit
+* nested-loop join, hash join, **sort-merge join**, and **left outer join**
+  (BulkProbe in Figure 3 is one inner join plus one left outer join)
+* group-by aggregation with ``sum``/``count``/``avg``/``min``/``max``
+
+Each operator reports how many rows it produced (``rows_out``) so query
+plans can be inspected in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+
+from .errors import QueryError
+from .expressions import Expression
+from .table import Table
+
+RowDict = dict[str, Any]
+
+
+def _qualify(alias: str, mapping: dict[str, Any]) -> RowDict:
+    """Build a row context with both qualified and bare keys for *alias*."""
+    out: RowDict = {}
+    for name, value in mapping.items():
+        out[f"{alias}.{name}"] = value
+        out[name] = value
+    return out
+
+
+def _merge(left: RowDict, right: RowDict) -> RowDict:
+    """Merge two row contexts.
+
+    Qualified keys never collide across distinct aliases.  For bare keys
+    that exist on both sides with different values we drop the bare key,
+    forcing queries to qualify the column (mirrors SQL ambiguity rules
+    but is forgiving when the values agree, e.g. natural-join columns).
+    """
+    out = dict(left)
+    for key, value in right.items():
+        if key in out and "." not in key and out[key] != value:
+            del out[key]
+            continue
+        out[key] = value
+    return out
+
+
+class Operator:
+    """Base class: an iterable of row contexts with a produced-row counter."""
+
+    def __init__(self) -> None:
+        self.rows_out = 0
+
+    def __iter__(self) -> Iterator[RowDict]:
+        for row in self._produce():
+            self.rows_out += 1
+            yield row
+
+    def _produce(self) -> Iterator[RowDict]:
+        raise NotImplementedError
+
+    def to_list(self) -> list[RowDict]:
+        return list(iter(self))
+
+
+class TableScan(Operator):
+    """Sequential scan of a table (page-at-a-time I/O through the buffer pool)."""
+
+    def __init__(self, table: Table, alias: Optional[str] = None) -> None:
+        super().__init__()
+        self.table = table
+        self.alias = alias or table.name
+
+    def _produce(self) -> Iterator[RowDict]:
+        schema = self.table.schema
+        for row in self.table.rows():
+            yield _qualify(self.alias, schema.row_to_mapping(row))
+
+
+class IndexLookup(Operator):
+    """Fetch rows matching an equality key through a named index (random I/O)."""
+
+    def __init__(
+        self,
+        table: Table,
+        index_name: str,
+        key: Sequence[Any],
+        alias: Optional[str] = None,
+    ) -> None:
+        super().__init__()
+        self.table = table
+        self.index_name = index_name
+        self.key = tuple(key)
+        self.alias = alias or table.name
+
+    def _produce(self) -> Iterator[RowDict]:
+        schema = self.table.schema
+        for row in self.table.lookup(self.index_name, self.key):
+            yield _qualify(self.alias, schema.row_to_mapping(row))
+
+
+class RowSource(Operator):
+    """Adapt a plain iterable of dicts (e.g. a materialised CTE) into an operator."""
+
+    def __init__(self, rows: Iterable[RowDict], alias: Optional[str] = None) -> None:
+        super().__init__()
+        self._rows = rows
+        self.alias = alias
+
+    def _produce(self) -> Iterator[RowDict]:
+        for mapping in self._rows:
+            if self.alias is None:
+                yield dict(mapping)
+            else:
+                yield _qualify(self.alias, dict(mapping))
+
+
+class Filter(Operator):
+    def __init__(self, child: Operator, predicate: Expression) -> None:
+        super().__init__()
+        self.child = child
+        self.predicate = predicate
+
+    def _produce(self) -> Iterator[RowDict]:
+        for ctx in self.child:
+            if self.predicate.evaluate(ctx):
+                yield ctx
+
+
+class Project(Operator):
+    """Evaluate a list of ``(output_name, expression)`` pairs per row."""
+
+    def __init__(self, child: Operator, outputs: Sequence[tuple[str, Expression]]) -> None:
+        super().__init__()
+        self.child = child
+        self.outputs = list(outputs)
+
+    def _produce(self) -> Iterator[RowDict]:
+        for ctx in self.child:
+            yield {name: expr.evaluate(ctx) for name, expr in self.outputs}
+
+
+class Distinct(Operator):
+    def __init__(self, child: Operator) -> None:
+        super().__init__()
+        self.child = child
+
+    def _produce(self) -> Iterator[RowDict]:
+        seen: set[tuple] = set()
+        for ctx in self.child:
+            key = tuple(sorted(ctx.items()))
+            if key not in seen:
+                seen.add(key)
+                yield ctx
+
+
+class Sort(Operator):
+    """Sort on a list of ``(expression, ascending)`` pairs.  NULLs sort last."""
+
+    def __init__(self, child: Operator, keys: Sequence[tuple[Expression, bool]]) -> None:
+        super().__init__()
+        self.child = child
+        self.keys = list(keys)
+
+    def _produce(self) -> Iterator[RowDict]:
+        rows = list(self.child)
+
+        def sort_key(ctx: RowDict):
+            parts = []
+            for expr, ascending in self.keys:
+                value = expr.evaluate(ctx)
+                null_rank = 1 if value is None else 0
+                parts.append((null_rank, value if value is not None else 0, ascending))
+            return parts
+
+        # Python's sort is stable, so apply keys from least to most significant.
+        for expr, ascending in reversed(self.keys):
+            def key_fn(ctx: RowDict, expr=expr):
+                value = expr.evaluate(ctx)
+                return (value is None, value if value is not None else 0)
+
+            rows.sort(key=key_fn, reverse=not ascending)
+        yield from rows
+
+
+class Limit(Operator):
+    def __init__(self, child: Operator, limit: int, offset: int = 0) -> None:
+        super().__init__()
+        if limit < 0 or offset < 0:
+            raise QueryError("LIMIT/OFFSET must be non-negative")
+        self.child = child
+        self.limit = limit
+        self.offset = offset
+
+    def _produce(self) -> Iterator[RowDict]:
+        produced = 0
+        skipped = 0
+        for ctx in self.child:
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            if produced >= self.limit:
+                break
+            produced += 1
+            yield ctx
+
+
+# -- joins ------------------------------------------------------------------------
+
+
+class NestedLoopJoin(Operator):
+    """The fallback join: O(n*m) comparisons, arbitrary predicate."""
+
+    def __init__(self, left: Operator, right: Operator, predicate: Optional[Expression]) -> None:
+        super().__init__()
+        self.left = left
+        self.right = right
+        self.predicate = predicate
+
+    def _produce(self) -> Iterator[RowDict]:
+        right_rows = list(self.right)
+        for lctx in self.left:
+            for rctx in right_rows:
+                merged = _merge(lctx, rctx)
+                if self.predicate is None or self.predicate.evaluate(merged):
+                    yield merged
+
+
+class HashJoin(Operator):
+    """Equi-join that builds a hash table on the right input."""
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_keys: Sequence[Expression],
+        right_keys: Sequence[Expression],
+        residual: Optional[Expression] = None,
+    ) -> None:
+        super().__init__()
+        if len(left_keys) != len(right_keys):
+            raise QueryError("hash join needs matching key lists")
+        self.left = left
+        self.right = right
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+        self.residual = residual
+
+    def _produce(self) -> Iterator[RowDict]:
+        buckets: dict[tuple, list[RowDict]] = {}
+        for rctx in self.right:
+            key = tuple(k.evaluate(rctx) for k in self.right_keys)
+            if any(part is None for part in key):
+                continue
+            buckets.setdefault(key, []).append(rctx)
+        for lctx in self.left:
+            key = tuple(k.evaluate(lctx) for k in self.left_keys)
+            if any(part is None for part in key):
+                continue
+            for rctx in buckets.get(key, ()):
+                merged = _merge(lctx, rctx)
+                if self.residual is None or self.residual.evaluate(merged):
+                    yield merged
+
+
+class SortMergeJoin(Operator):
+    """Equi-join by sorting both inputs on the join key and merging.
+
+    This is the access path the paper's BulkProbe exploits: both STAT and
+    DOCUMENT arrive sorted by term id, so the join is a single
+    co-sequential pass instead of one random probe per term occurrence.
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_keys: Sequence[Expression],
+        right_keys: Sequence[Expression],
+        residual: Optional[Expression] = None,
+    ) -> None:
+        super().__init__()
+        if len(left_keys) != len(right_keys):
+            raise QueryError("sort-merge join needs matching key lists")
+        self.left = left
+        self.right = right
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+        self.residual = residual
+
+    def _produce(self) -> Iterator[RowDict]:
+        def keyed(rows: Iterable[RowDict], keys: Sequence[Expression]) -> list[tuple[tuple, RowDict]]:
+            out = []
+            for ctx in rows:
+                key = tuple(k.evaluate(ctx) for k in keys)
+                if any(part is None for part in key):
+                    continue
+                out.append((key, ctx))
+            out.sort(key=lambda pair: pair[0])
+            return out
+
+        left_sorted = keyed(self.left, self.left_keys)
+        right_sorted = keyed(self.right, self.right_keys)
+        i = j = 0
+        while i < len(left_sorted) and j < len(right_sorted):
+            lkey, lctx = left_sorted[i]
+            rkey, _ = right_sorted[j]
+            if lkey < rkey:
+                i += 1
+            elif lkey > rkey:
+                j += 1
+            else:
+                # Collect the right-side run with this key.
+                run_start = j
+                while j < len(right_sorted) and right_sorted[j][0] == lkey:
+                    j += 1
+                run = right_sorted[run_start:j]
+                while i < len(left_sorted) and left_sorted[i][0] == lkey:
+                    _, lctx = left_sorted[i]
+                    for _, rctx in run:
+                        merged = _merge(lctx, rctx)
+                        if self.residual is None or self.residual.evaluate(merged):
+                            yield merged
+                    i += 1
+
+
+class LeftOuterJoin(Operator):
+    """Hash-based left outer join.
+
+    Unmatched left rows are emitted with the right side's columns set to
+    NULL; the caller provides the right column names to null-fill (they
+    cannot be inferred when the right input is empty).
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_keys: Sequence[Expression],
+        right_keys: Sequence[Expression],
+        right_columns: Sequence[str],
+        residual: Optional[Expression] = None,
+    ) -> None:
+        super().__init__()
+        if len(left_keys) != len(right_keys):
+            raise QueryError("left outer join needs matching key lists")
+        self.left = left
+        self.right = right
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+        self.right_columns = list(right_columns)
+        self.residual = residual
+
+    def _produce(self) -> Iterator[RowDict]:
+        buckets: dict[tuple, list[RowDict]] = {}
+        for rctx in self.right:
+            key = tuple(k.evaluate(rctx) for k in self.right_keys)
+            buckets.setdefault(key, []).append(rctx)
+        null_fill = {name: None for name in self.right_columns}
+        for lctx in self.left:
+            key = tuple(k.evaluate(lctx) for k in self.left_keys)
+            matches = buckets.get(key, []) if not any(p is None for p in key) else []
+            matched = False
+            for rctx in matches:
+                merged = _merge(lctx, rctx)
+                if self.residual is None or self.residual.evaluate(merged):
+                    matched = True
+                    yield merged
+            if not matched:
+                yield _merge(lctx, dict(null_fill))
+
+
+# -- aggregation ----------------------------------------------------------------------
+
+
+@dataclass
+class Aggregate:
+    """One aggregate column: ``func`` over ``arg`` producing ``output_name``.
+
+    ``func`` is one of ``count``, ``sum``, ``avg``, ``min``, ``max``.
+    ``arg`` may be ``None`` for ``count(*)``.
+    """
+
+    func: str
+    arg: Optional[Expression]
+    output_name: str
+
+    def __post_init__(self) -> None:
+        self.func = self.func.lower()
+        if self.func not in ("count", "sum", "avg", "min", "max"):
+            raise QueryError(f"unknown aggregate {self.func!r}")
+        if self.func != "count" and self.arg is None:
+            raise QueryError(f"aggregate {self.func!r} needs an argument")
+
+
+class _AggState:
+    """Accumulator for one group."""
+
+    def __init__(self, aggregates: Sequence[Aggregate]) -> None:
+        self.aggregates = aggregates
+        self.counts = [0] * len(aggregates)
+        self.sums = [0.0] * len(aggregates)
+        self.mins: list[Any] = [None] * len(aggregates)
+        self.maxs: list[Any] = [None] * len(aggregates)
+
+    def update(self, ctx: RowDict) -> None:
+        for i, agg in enumerate(self.aggregates):
+            if agg.arg is None:
+                self.counts[i] += 1
+                continue
+            value = agg.arg.evaluate(ctx)
+            if value is None:
+                continue
+            self.counts[i] += 1
+            if isinstance(value, (int, float)):
+                self.sums[i] += value
+            if self.mins[i] is None or value < self.mins[i]:
+                self.mins[i] = value
+            if self.maxs[i] is None or value > self.maxs[i]:
+                self.maxs[i] = value
+
+    def finalize(self) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        for i, agg in enumerate(self.aggregates):
+            if agg.func == "count":
+                out[agg.output_name] = self.counts[i]
+            elif agg.func == "sum":
+                out[agg.output_name] = self.sums[i] if self.counts[i] else None
+            elif agg.func == "avg":
+                out[agg.output_name] = (
+                    self.sums[i] / self.counts[i] if self.counts[i] else None
+                )
+            elif agg.func == "min":
+                out[agg.output_name] = self.mins[i]
+            elif agg.func == "max":
+                out[agg.output_name] = self.maxs[i]
+        return out
+
+
+class GroupByAggregate(Operator):
+    """Hash aggregation over grouping expressions.
+
+    With an empty ``group_keys`` list this produces a single global row
+    (``select sum(score) from HUBS``-style queries in Figure 4).
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        group_keys: Sequence[tuple[str, Expression]],
+        aggregates: Sequence[Aggregate],
+        having: Optional[Expression] = None,
+    ) -> None:
+        super().__init__()
+        self.child = child
+        self.group_keys = list(group_keys)
+        self.aggregates = list(aggregates)
+        self.having = having
+
+    def _produce(self) -> Iterator[RowDict]:
+        groups: dict[tuple, tuple[dict[str, Any], _AggState]] = {}
+        saw_rows = False
+        for ctx in self.child:
+            saw_rows = True
+            key_values = {name: expr.evaluate(ctx) for name, expr in self.group_keys}
+            key = tuple(key_values.values())
+            if key not in groups:
+                groups[key] = (key_values, _AggState(self.aggregates))
+            groups[key][1].update(ctx)
+        if not self.group_keys and not saw_rows:
+            # Global aggregate over empty input still yields one row.
+            groups[()] = ({}, _AggState(self.aggregates))
+        for key_values, state in groups.values():
+            out = dict(key_values)
+            out.update(state.finalize())
+            if self.having is None or self.having.evaluate(out):
+                yield out
+
+
+def materialize(op: Operator) -> list[RowDict]:
+    """Run an operator tree to completion and return its rows."""
+    return op.to_list()

@@ -1,0 +1,121 @@
+"""Slotted pages and record identifiers.
+
+minidb stores every table as a heap file made of fixed-capacity pages.
+A page holds a list of row slots; a slot may be emptied by a delete,
+leaving a tombstone so that record ids (:class:`RecordId`) of other rows
+remain stable.  Pages track their approximate byte usage so the storage
+layer can decide when to allocate a new page — this is what makes the
+buffer-pool experiments (paper Figure 8b) meaningful: a table's size in
+pages, not in rows, drives I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional, Sequence
+
+from .errors import StorageError
+
+#: Default page capacity in bytes.  4 KiB mirrors the paper's DB2 buffer
+#: pool accounting ("Buffer Pool (x 4kB)" on the x-axis of Figure 8b).
+DEFAULT_PAGE_SIZE = 4096
+
+#: Fixed per-slot overhead (slot directory entry), in bytes.
+SLOT_OVERHEAD = 8
+
+#: Fixed per-page overhead (header), in bytes.
+PAGE_HEADER = 24
+
+
+@dataclass(frozen=True)
+class PageId:
+    """Identifies a page: which file (table/index) and which page number within it."""
+
+    file_id: int
+    page_no: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"page({self.file_id}:{self.page_no})"
+
+
+@dataclass(frozen=True)
+class RecordId:
+    """Identifies a row: page plus slot number within the page."""
+
+    page_id: PageId
+    slot: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"rid({self.page_id.file_id}:{self.page_id.page_no}:{self.slot})"
+
+
+@dataclass
+class Page:
+    """An in-memory slotted page.
+
+    ``slots`` holds either a row tuple or ``None`` (a tombstone left by a
+    delete).  ``used_bytes`` approximates how full the page is; the heap
+    file uses it to decide whether another row fits.
+    """
+
+    page_id: PageId
+    capacity: int = DEFAULT_PAGE_SIZE
+    slots: list[Optional[tuple]] = field(default_factory=list)
+    used_bytes: int = PAGE_HEADER
+    dirty: bool = False
+
+    def free_bytes(self) -> int:
+        return self.capacity - self.used_bytes
+
+    def fits(self, row_size: int) -> bool:
+        return self.free_bytes() >= row_size + SLOT_OVERHEAD
+
+    def insert(self, row: tuple, row_size: int) -> int:
+        """Insert *row* into the first free slot (or a new one); return the slot number."""
+        if not self.fits(row_size):
+            raise StorageError(f"row of {row_size} bytes does not fit in {self.page_id}")
+        self.used_bytes += row_size + SLOT_OVERHEAD
+        self.dirty = True
+        for slot, existing in enumerate(self.slots):
+            if existing is None:
+                self.slots[slot] = row
+                return slot
+        self.slots.append(row)
+        return len(self.slots) - 1
+
+    def read(self, slot: int) -> tuple:
+        row = self._slot(slot)
+        if row is None:
+            raise StorageError(f"slot {slot} of {self.page_id} is empty")
+        return row
+
+    def update(self, slot: int, row: tuple, old_size: int, new_size: int) -> None:
+        if self._slot(slot) is None:
+            raise StorageError(f"slot {slot} of {self.page_id} is empty")
+        self.used_bytes += new_size - old_size
+        self.slots[slot] = row
+        self.dirty = True
+
+    def delete(self, slot: int, row_size: int) -> None:
+        if self._slot(slot) is None:
+            raise StorageError(f"slot {slot} of {self.page_id} is already empty")
+        self.slots[slot] = None
+        self.used_bytes -= row_size + SLOT_OVERHEAD
+        self.dirty = True
+
+    def _slot(self, slot: int) -> Optional[tuple]:
+        if slot < 0 or slot >= len(self.slots):
+            raise StorageError(f"slot {slot} out of range for {self.page_id}")
+        return self.slots[slot]
+
+    def rows(self) -> Iterator[tuple[int, tuple]]:
+        """Yield ``(slot, row)`` for every live row on the page."""
+        for slot, row in enumerate(self.slots):
+            if row is not None:
+                yield slot, row
+
+    def live_count(self) -> int:
+        return sum(1 for row in self.slots if row is not None)
+
+    def is_empty(self) -> bool:
+        return self.live_count() == 0

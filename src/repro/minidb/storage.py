@@ -1,0 +1,128 @@
+"""Heap files: unordered collections of rows stored on slotted pages.
+
+A :class:`HeapFile` owns a contiguous sequence of page numbers within one
+file id and routes every access through the shared :class:`BufferPool`,
+so scans and point reads are charged the appropriate logical/physical
+page I/O.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .buffer_pool import BufferPool
+from .errors import StorageError
+from .pages import DEFAULT_PAGE_SIZE, Page, PageId, RecordId
+from .types import Schema
+
+
+class HeapFile:
+    """An append-friendly heap of rows for one table.
+
+    Rows are identified by stable :class:`RecordId`s.  Inserts go to the
+    last page with room (or a fresh page); deletes leave tombstones.
+    """
+
+    def __init__(
+        self,
+        file_id: int,
+        schema: Schema,
+        buffer_pool: BufferPool,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> None:
+        self.file_id = file_id
+        self.schema = schema
+        self.buffer_pool = buffer_pool
+        self.page_size = page_size
+        self._page_count = 0
+        self._row_count = 0
+
+    # -- properties -------------------------------------------------------
+    @property
+    def page_count(self) -> int:
+        return self._page_count
+
+    @property
+    def row_count(self) -> int:
+        return self._row_count
+
+    def page_ids(self) -> Iterator[PageId]:
+        for page_no in range(self._page_count):
+            yield PageId(self.file_id, page_no)
+
+    # -- mutation ----------------------------------------------------------
+    def insert(self, row: tuple) -> RecordId:
+        """Append *row*, returning its record id."""
+        row_size = self.schema.row_size(row)
+        if row_size > self.page_size // 2:
+            raise StorageError(
+                f"row of {row_size} bytes too large for page size {self.page_size}"
+            )
+        page = self._page_with_room(row_size)
+        slot = page.insert(row, row_size)
+        self.buffer_pool.mark_dirty(page.page_id)
+        self._row_count += 1
+        return RecordId(page.page_id, slot)
+
+    def read(self, rid: RecordId) -> tuple:
+        self._check_rid(rid)
+        page = self.buffer_pool.get_page(rid.page_id)
+        return page.read(rid.slot)
+
+    def update(self, rid: RecordId, row: tuple) -> None:
+        self._check_rid(rid)
+        page = self.buffer_pool.get_page(rid.page_id)
+        old = page.read(rid.slot)
+        page.update(
+            rid.slot,
+            row,
+            old_size=self.schema.row_size(old),
+            new_size=self.schema.row_size(row),
+        )
+        self.buffer_pool.mark_dirty(rid.page_id)
+
+    def delete(self, rid: RecordId) -> tuple:
+        """Delete the row at *rid* and return it."""
+        self._check_rid(rid)
+        page = self.buffer_pool.get_page(rid.page_id)
+        row = page.read(rid.slot)
+        page.delete(rid.slot, self.schema.row_size(row))
+        self.buffer_pool.mark_dirty(rid.page_id)
+        self._row_count -= 1
+        return row
+
+    def truncate(self) -> None:
+        """Drop every page, leaving an empty heap."""
+        for page_id in self.page_ids():
+            self.buffer_pool.drop_page(page_id)
+        self._page_count = 0
+        self._row_count = 0
+
+    # -- scans --------------------------------------------------------------
+    def scan(self) -> Iterator[tuple[RecordId, tuple]]:
+        """Yield ``(rid, row)`` for every live row, page by page (sequential I/O)."""
+        for page_id in self.page_ids():
+            page = self.buffer_pool.get_page(page_id)
+            for slot, row in page.rows():
+                yield RecordId(page_id, slot), row
+
+    def scan_rows(self) -> Iterator[tuple]:
+        for _rid, row in self.scan():
+            yield row
+
+    # -- internals ------------------------------------------------------------
+    def _page_with_room(self, row_size: int) -> Page:
+        if self._page_count > 0:
+            last_id = PageId(self.file_id, self._page_count - 1)
+            page = self.buffer_pool.get_page(last_id)
+            if page.fits(row_size):
+                return page
+        new_id = PageId(self.file_id, self._page_count)
+        self._page_count += 1
+        return self.buffer_pool.create_page(new_id, self.page_size)
+
+    def _check_rid(self, rid: RecordId) -> None:
+        if rid.page_id.file_id != self.file_id:
+            raise StorageError(f"{rid} does not belong to file {self.file_id}")
+        if rid.page_id.page_no >= self._page_count:
+            raise StorageError(f"{rid} refers to a page beyond the heap")

@@ -1,0 +1,246 @@
+"""Tables: schema + heap file + secondary indexes + constraints.
+
+A :class:`Table` is the unit the rest of the system works with.  Its
+mutation API accepts either positional rows or column-name mappings;
+all mutations keep every secondary index and the (optional) primary-key
+index consistent, and fire any statement triggers registered on the
+owning database.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
+
+from .buffer_pool import BufferPool
+from .errors import CatalogError, ConstraintError, QueryError
+from .expressions import Expression
+from .index import HashIndex, Index, OrderedIndex, build_index
+from .pages import DEFAULT_PAGE_SIZE, RecordId
+from .storage import HeapFile
+from .types import Row, Schema
+
+
+class Table:
+    """A named relation with optional primary key and secondary indexes."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        file_id: int,
+        buffer_pool: BufferPool,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self.heap = HeapFile(file_id, schema, buffer_pool, page_size)
+        self.indexes: dict[str, Index] = {}
+        self._pk_index: Optional[HashIndex] = None
+        if schema.primary_key:
+            self._pk_index = HashIndex(
+                f"{name}_pk", schema, list(schema.primary_key)
+            )
+        #: Hooks invoked after a mutation: callables taking (event, table, rows).
+        self._mutation_listeners: list[Callable[[str, "Table", list[Row]], None]] = []
+
+    # -- metadata -----------------------------------------------------------
+    @property
+    def row_count(self) -> int:
+        return self.heap.row_count
+
+    @property
+    def page_count(self) -> int:
+        return self.heap.page_count
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    def add_mutation_listener(
+        self, listener: Callable[[str, "Table", list[Row]], None]
+    ) -> None:
+        self._mutation_listeners.append(listener)
+
+    # -- index management ------------------------------------------------------
+    def create_index(self, name: str, columns: Sequence[str], kind: str = "hash") -> Index:
+        """Create and backfill a secondary index over *columns*."""
+        if name in self.indexes:
+            raise CatalogError(f"index {name!r} already exists on table {self.name!r}")
+        index = build_index(kind, name, self.schema, columns)
+        for rid, row in self.heap.scan():
+            index.insert(row, rid)
+        self.indexes[name] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        if name not in self.indexes:
+            raise CatalogError(f"no index {name!r} on table {self.name!r}")
+        del self.indexes[name]
+
+    def index_on(self, columns: Sequence[str]) -> Optional[Index]:
+        """Return an index whose key is exactly *columns* (order-sensitive), if any."""
+        target = tuple(columns)
+        if self._pk_index is not None and self._pk_index.key_columns == target:
+            return self._pk_index
+        for index in self.indexes.values():
+            if index.key_columns == target:
+                return index
+        return None
+
+    def ordered_index_on_prefix(self, columns: Sequence[str]) -> Optional[OrderedIndex]:
+        """Return an ordered index whose key starts with *columns*, if any."""
+        target = tuple(columns)
+        for index in self.indexes.values():
+            if isinstance(index, OrderedIndex) and index.key_columns[: len(target)] == target:
+                return index
+        return None
+
+    # -- mutation -----------------------------------------------------------------
+    def insert(self, values: Sequence[Any] | Mapping[str, Any]) -> RecordId:
+        """Insert one row (positional or mapping form); returns its record id."""
+        row = self._coerce(values)
+        self._check_primary_key(row)
+        rid = self.heap.insert(row)
+        self._index_insert(row, rid)
+        self._notify("insert", [row])
+        return rid
+
+    def insert_many(self, rows: Iterable[Sequence[Any] | Mapping[str, Any]]) -> int:
+        """Bulk insert; returns the number of rows inserted."""
+        inserted: list[Row] = []
+        for values in rows:
+            row = self._coerce(values)
+            self._check_primary_key(row)
+            rid = self.heap.insert(row)
+            self._index_insert(row, rid)
+            inserted.append(row)
+        if inserted:
+            self._notify("insert", inserted)
+        return len(inserted)
+
+    def update_row(self, rid: RecordId, changes: Mapping[str, Any]) -> Row:
+        """Apply *changes* to the row at *rid*; returns the new row."""
+        old = self.heap.read(rid)
+        merged = self.schema.row_to_mapping(old)
+        merged.update(changes)
+        new = self.schema.row_from_mapping(merged)
+        if self.schema.primary_key and self.schema.key_of(new) != self.schema.key_of(old):
+            self._check_primary_key(new)
+        self._index_delete(old, rid)
+        self.heap.update(rid, new)
+        self._index_insert(new, rid)
+        self._notify("update", [new])
+        return new
+
+    def update_where(
+        self, predicate: Optional[Expression], changes: Mapping[str, Any]
+    ) -> int:
+        """Update every row matching *predicate* (all rows when None); returns match count."""
+        touched = 0
+        for rid, row in list(self.heap.scan()):
+            if predicate is None or predicate.evaluate(self.schema.row_to_mapping(row)):
+                self.update_row(rid, changes)
+                touched += 1
+        return touched
+
+    def delete_row(self, rid: RecordId) -> Row:
+        row = self.heap.delete(rid)
+        self._index_delete(row, rid)
+        self._notify("delete", [row])
+        return row
+
+    def delete_where(self, predicate: Optional[Expression]) -> int:
+        """Delete every row matching *predicate* (all rows when None); returns count."""
+        deleted = 0
+        for rid, row in list(self.heap.scan()):
+            if predicate is None or predicate.evaluate(self.schema.row_to_mapping(row)):
+                self.heap.delete(rid)
+                self._index_delete(row, rid)
+                deleted += 1
+        if deleted:
+            self._notify("delete", [])
+        return deleted
+
+    def truncate(self) -> None:
+        self.heap.truncate()
+        if self._pk_index is not None:
+            self._pk_index.clear()
+        for index in self.indexes.values():
+            index.clear()
+        self._notify("delete", [])
+
+    # -- reads ------------------------------------------------------------------------
+    def scan(self) -> Iterator[tuple[RecordId, Row]]:
+        return self.heap.scan()
+
+    def rows(self) -> Iterator[Row]:
+        return self.heap.scan_rows()
+
+    def rows_as_dicts(self) -> Iterator[dict[str, Any]]:
+        for row in self.heap.scan_rows():
+            yield self.schema.row_to_mapping(row)
+
+    def get_by_key(self, key: Sequence[Any]) -> Optional[Row]:
+        """Point lookup through the primary-key index."""
+        if self._pk_index is None:
+            raise QueryError(f"table {self.name!r} has no primary key")
+        rids = self._pk_index.search(tuple(key))
+        if not rids:
+            return None
+        return self.heap.read(rids[0])
+
+    def lookup(self, index_name: str, key: Sequence[Any]) -> list[Row]:
+        """Fetch rows through a named secondary index (random I/O per row)."""
+        index = self._resolve_index(index_name)
+        return [self.heap.read(rid) for rid in index.search(tuple(key))]
+
+    def lookup_rids(self, index_name: str, key: Sequence[Any]) -> list[RecordId]:
+        index = self._resolve_index(index_name)
+        return index.search(tuple(key))
+
+    def read(self, rid: RecordId) -> Row:
+        return self.heap.read(rid)
+
+    # -- internals ----------------------------------------------------------------------
+    def _resolve_index(self, index_name: str) -> Index:
+        if self._pk_index is not None and index_name == self._pk_index.name:
+            return self._pk_index
+        try:
+            return self.indexes[index_name]
+        except KeyError:
+            raise CatalogError(
+                f"no index {index_name!r} on table {self.name!r}"
+            ) from None
+
+    def _coerce(self, values: Sequence[Any] | Mapping[str, Any]) -> Row:
+        if isinstance(values, Mapping):
+            return self.schema.row_from_mapping(values)
+        return self.schema.validate_row(values)
+
+    def _check_primary_key(self, row: Row) -> None:
+        if self._pk_index is None:
+            return
+        key = self.schema.key_of(row)
+        if any(part is None for part in key):
+            raise ConstraintError(
+                f"table {self.name!r}: primary key {self.schema.primary_key} cannot be NULL"
+            )
+        if self._pk_index.search(key):
+            raise ConstraintError(
+                f"table {self.name!r}: duplicate primary key {key!r}"
+            )
+
+    def _index_insert(self, row: Row, rid: RecordId) -> None:
+        if self._pk_index is not None:
+            self._pk_index.insert(row, rid)
+        for index in self.indexes.values():
+            index.insert(row, rid)
+
+    def _index_delete(self, row: Row, rid: RecordId) -> None:
+        if self._pk_index is not None:
+            self._pk_index.delete(row, rid)
+        for index in self.indexes.values():
+            index.delete(row, rid)
+
+    def _notify(self, event: str, rows: list[Row]) -> None:
+        for listener in self._mutation_listeners:
+            listener(event, self, rows)

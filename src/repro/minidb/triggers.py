@@ -1,0 +1,105 @@
+"""Statement-level triggers.
+
+The paper (§3.1) uses database triggers to "recompute relevance and
+centrality scores when the neighborhood of a page changed significantly
+owing to continued crawling".  minidb supports the same pattern with
+statement triggers: a callable fired after INSERT/UPDATE/DELETE
+statements on a table, optionally rate-limited so expensive actions
+(like re-running the distiller) only fire after a batch of changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from .errors import CatalogError
+from .types import Row
+
+#: Trigger callback signature: (event, table_name, rows affected by statement).
+TriggerAction = Callable[[str, str, Sequence[Row]], None]
+
+_VALID_EVENTS = ("insert", "update", "delete")
+
+
+@dataclass
+class Trigger:
+    """A registered trigger.
+
+    ``events`` restricts which statement kinds fire the trigger.
+    ``every_n_rows`` batches invocations: the action fires only once at
+    least that many affected rows have accumulated since the last firing
+    (the paper's "changed significantly" condition).
+    """
+
+    name: str
+    table_name: str
+    action: TriggerAction
+    events: tuple[str, ...] = _VALID_EVENTS
+    every_n_rows: int = 1
+    enabled: bool = True
+    _pending_rows: int = field(default=0, repr=False)
+    fire_count: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            if event not in _VALID_EVENTS:
+                raise CatalogError(f"trigger {self.name!r}: unknown event {event!r}")
+        if self.every_n_rows < 1:
+            raise CatalogError(f"trigger {self.name!r}: every_n_rows must be >= 1")
+
+    def notify(self, event: str, table_name: str, rows: Sequence[Row]) -> bool:
+        """Record a mutation; fire the action if the batch threshold is met.
+
+        Returns True when the action actually fired.
+        """
+        if not self.enabled or event not in self.events:
+            return False
+        self._pending_rows += max(len(rows), 1)
+        if self._pending_rows < self.every_n_rows:
+            return False
+        self._pending_rows = 0
+        self.fire_count += 1
+        self.action(event, table_name, rows)
+        return True
+
+
+class TriggerRegistry:
+    """All triggers of one database, keyed by table name."""
+
+    def __init__(self) -> None:
+        self._by_table: dict[str, list[Trigger]] = {}
+        self._by_name: dict[str, Trigger] = {}
+
+    def register(self, trigger: Trigger) -> Trigger:
+        if trigger.name in self._by_name:
+            raise CatalogError(f"trigger {trigger.name!r} already exists")
+        self._by_name[trigger.name] = trigger
+        self._by_table.setdefault(trigger.table_name, []).append(trigger)
+        return trigger
+
+    def drop(self, name: str) -> None:
+        trigger = self._by_name.pop(name, None)
+        if trigger is None:
+            raise CatalogError(f"no trigger named {name!r}")
+        self._by_table[trigger.table_name].remove(trigger)
+
+    def get(self, name: str) -> Trigger:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise CatalogError(f"no trigger named {name!r}") from None
+
+    def for_table(self, table_name: str) -> list[Trigger]:
+        return list(self._by_table.get(table_name, ()))
+
+    def notify(self, event: str, table_name: str, rows: Sequence[Row]) -> int:
+        """Dispatch a mutation to every trigger on *table_name*; return #fired."""
+        fired = 0
+        for trigger in self._by_table.get(table_name, ()):
+            if trigger.notify(event, table_name, rows):
+                fired += 1
+        return fired
+
+    def names(self) -> list[str]:
+        return sorted(self._by_name)

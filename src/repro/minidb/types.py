@@ -1,0 +1,193 @@
+"""Column types, schemas, and rows for the minidb relational engine.
+
+The engine stores rows as plain tuples; a :class:`Schema` describes the
+column names, types, and nullability, and knows how to validate and
+coerce incoming values.  Types are intentionally small: the paper's
+tables (CRAWL, LINK, HUBS, AUTH, DOCUMENT, TAXONOMY, STAT, BLOB) only
+need integers, floats, strings, and raw blobs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from .errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """Supported column types.
+
+    ``INTEGER`` holds arbitrary-precision Python ints (used for 16-bit class
+    ids, 32-bit term ids, and 64-bit URL oids alike).  ``FLOAT`` holds
+    doubles (log-probabilities, scores).  ``TEXT`` holds unicode strings.
+    ``BLOB`` holds opaque bytes (the paper's BLOB statistics records).
+    """
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    BLOB = "blob"
+
+    def validate(self, value: Any) -> Any:
+        """Coerce *value* to this column type, raising :class:`SchemaError` if impossible."""
+        if value is None:
+            return None
+        if self is ColumnType.INTEGER:
+            if isinstance(value, bool):
+                return int(value)
+            if isinstance(value, int):
+                return value
+            if isinstance(value, float) and value.is_integer():
+                return int(value)
+            raise SchemaError(f"expected INTEGER, got {value!r}")
+        if self is ColumnType.FLOAT:
+            if isinstance(value, bool):
+                raise SchemaError(f"expected FLOAT, got {value!r}")
+            if isinstance(value, (int, float)):
+                return float(value)
+            raise SchemaError(f"expected FLOAT, got {value!r}")
+        if self is ColumnType.TEXT:
+            if isinstance(value, str):
+                return value
+            raise SchemaError(f"expected TEXT, got {value!r}")
+        if self is ColumnType.BLOB:
+            if isinstance(value, (bytes, bytearray)):
+                return bytes(value)
+            raise SchemaError(f"expected BLOB, got {value!r}")
+        raise SchemaError(f"unknown column type {self!r}")  # pragma: no cover
+
+    def storage_size(self, value: Any) -> int:
+        """Approximate on-page size in bytes of *value*, used for page accounting."""
+        if value is None:
+            return 1
+        if self is ColumnType.INTEGER:
+            return 8
+        if self is ColumnType.FLOAT:
+            return 8
+        if self is ColumnType.TEXT:
+            return 4 + len(value.encode("utf-8"))
+        if self is ColumnType.BLOB:
+            return 4 + len(value)
+        return 8  # pragma: no cover
+
+
+INTEGER = ColumnType.INTEGER
+FLOAT = ColumnType.FLOAT
+TEXT = ColumnType.TEXT
+BLOB = ColumnType.BLOB
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column definition."""
+
+    name: str
+    type: ColumnType
+    nullable: bool = True
+
+    def validate(self, value: Any) -> Any:
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name!r} is NOT NULL")
+            return None
+        return self.type.validate(value)
+
+
+Row = tuple
+"""A stored row: a plain tuple, positionally aligned with the schema columns."""
+
+
+@dataclass
+class Schema:
+    """An ordered collection of :class:`Column` definitions plus an optional primary key.
+
+    The schema is the single source of truth for column order.  Rows are
+    stored as tuples in schema order; :meth:`row_from_mapping` and
+    :meth:`row_to_mapping` convert between dict-like and tuple forms.
+    """
+
+    columns: Sequence[Column]
+    primary_key: Sequence[str] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+        self._index = {c.name: i for i, c in enumerate(self.columns)}
+        for key_col in self.primary_key:
+            if key_col not in self._index:
+                raise SchemaError(f"primary key column {key_col!r} not in schema")
+
+    # -- introspection -------------------------------------------------
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def position(self, name: str) -> int:
+        """Return the position of column *name*, raising :class:`SchemaError` if unknown."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"unknown column {name!r}; have {self.column_names}") from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.position(name)]
+
+    # -- row helpers ----------------------------------------------------
+    def validate_row(self, values: Sequence[Any]) -> Row:
+        """Validate and coerce a positional row."""
+        if len(values) != len(self.columns):
+            raise SchemaError(
+                f"row has {len(values)} values, schema has {len(self.columns)} columns"
+            )
+        return tuple(col.validate(val) for col, val in zip(self.columns, values))
+
+    def row_from_mapping(self, mapping: Mapping[str, Any]) -> Row:
+        """Build a positional row from a column-name mapping (missing columns become NULL)."""
+        unknown = set(mapping) - set(self._index)
+        if unknown:
+            raise SchemaError(f"unknown columns {sorted(unknown)}; have {self.column_names}")
+        return self.validate_row([mapping.get(c.name) for c in self.columns])
+
+    def row_to_mapping(self, row: Sequence[Any]) -> dict[str, Any]:
+        return {c.name: v for c, v in zip(self.columns, row)}
+
+    def key_of(self, row: Sequence[Any]) -> tuple:
+        """Extract the primary-key tuple from a row (empty tuple if no primary key)."""
+        return tuple(row[self.position(k)] for k in self.primary_key)
+
+    def row_size(self, row: Sequence[Any]) -> int:
+        """Approximate stored size of *row* in bytes."""
+        return sum(c.type.storage_size(v) for c, v in zip(self.columns, row))
+
+    def project_positions(self, names: Iterable[str]) -> list[int]:
+        return [self.position(n) for n in names]
+
+
+def make_schema(*columns: tuple, primary_key: Sequence[str] = ()) -> Schema:
+    """Convenience constructor.
+
+    Each column spec is ``(name, type)`` or ``(name, type, nullable)``::
+
+        schema = make_schema(("oid", INTEGER, False), ("score", FLOAT),
+                             primary_key=["oid"])
+    """
+    cols = []
+    for spec in columns:
+        if len(spec) == 2:
+            name, ctype = spec
+            cols.append(Column(name, ctype))
+        elif len(spec) == 3:
+            name, ctype, nullable = spec
+            cols.append(Column(name, ctype, nullable))
+        else:
+            raise SchemaError(f"bad column spec {spec!r}")
+    return Schema(cols, tuple(primary_key))

@@ -1,0 +1,20 @@
+"""taxonomy: the class tree C, node marking, and example documents D(c)."""
+
+from .examples import (
+    ExampleDocument,
+    ExampleStore,
+    examples_from_documents,
+    generate_examples,
+)
+from .tree import ROOT_CID, NodeMark, TaxonomyNode, TopicTaxonomy
+
+__all__ = [
+    "ExampleDocument",
+    "ExampleStore",
+    "NodeMark",
+    "ROOT_CID",
+    "TaxonomyNode",
+    "TopicTaxonomy",
+    "examples_from_documents",
+    "generate_examples",
+]

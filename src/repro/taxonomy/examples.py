@@ -1,0 +1,105 @@
+"""Example documents per taxonomy node (the paper's D(c)).
+
+In the paper the user provides example pages for each topic by hand
+(e.g. pages catalogued under a Yahoo! node).  Here examples are drawn
+from the synthetic web's ground-truth topic distributions — importantly,
+*not* from the pages of the web graph itself, so the classifier is never
+trained on pages it will later judge (the methodological point §3.4 is
+careful about).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.webgraph.documents import DocumentGenerator
+from repro.webgraph.graph import WebGraph
+
+from .tree import TopicTaxonomy
+
+
+@dataclass
+class ExampleDocument:
+    """One training example: a bag of terms labelled with a leaf class cid."""
+
+    cid: int
+    tokens: List[str]
+
+    def term_frequencies(self) -> Dict[str, int]:
+        return dict(Counter(self.tokens))
+
+
+@dataclass
+class ExampleStore:
+    """Training examples grouped by leaf class."""
+
+    by_cid: Dict[int, List[ExampleDocument]] = field(default_factory=dict)
+
+    def add(self, document: ExampleDocument) -> None:
+        self.by_cid.setdefault(document.cid, []).append(document)
+
+    def for_class(self, cid: int) -> List[ExampleDocument]:
+        return list(self.by_cid.get(cid, ()))
+
+    def for_subtree(self, taxonomy: TopicTaxonomy, cid: int) -> List[ExampleDocument]:
+        """All examples under the subtree rooted at *cid* (hierarchical D(c))."""
+        out: List[ExampleDocument] = []
+        for node in taxonomy.node(cid).subtree():
+            out.extend(self.by_cid.get(node.cid, ()))
+        return out
+
+    def total(self) -> int:
+        return sum(len(docs) for docs in self.by_cid.values())
+
+    def classes(self) -> List[int]:
+        return sorted(self.by_cid)
+
+
+def generate_examples(
+    taxonomy: TopicTaxonomy,
+    web: WebGraph,
+    per_leaf: int = 30,
+    seed: int = 13,
+    leaf_paths: Optional[Sequence[str]] = None,
+) -> ExampleStore:
+    """Generate *per_leaf* example documents for each leaf topic of the taxonomy.
+
+    Examples come from the ground-truth topic term distributions of *web*
+    (its :class:`~repro.webgraph.vocabulary.Vocabulary`), using an
+    independent random stream so they never coincide with crawled pages.
+    ``leaf_paths`` restricts generation to a subset of leaves (e.g. only
+    topics relevant to the current crawl, to keep training fast).
+    """
+    rng = np.random.default_rng(seed)
+    generator = DocumentGenerator(
+        web.vocabulary, mean_length=web.config.mean_doc_length, rng=rng
+    )
+    store = ExampleStore()
+    wanted = set(leaf_paths) if leaf_paths is not None else None
+    for leaf in taxonomy.leaves():
+        if wanted is not None and leaf.path not in wanted:
+            continue
+        if leaf.path not in web.vocabulary.topic_terms:
+            continue
+        for document in generator.generate_examples(leaf.path, per_leaf):
+            store.add(ExampleDocument(cid=leaf.cid, tokens=document.tokens))
+    return store
+
+
+def examples_from_documents(
+    taxonomy: TopicTaxonomy, labelled: Iterable[tuple[str, Sequence[str]]]
+) -> ExampleStore:
+    """Build an ExampleStore from explicit ``(topic_path, tokens)`` pairs.
+
+    This is the path a real deployment would use: the user hands the
+    system example pages for each topic of interest.
+    """
+    store = ExampleStore()
+    for path, tokens in labelled:
+        node = taxonomy.by_path(path)
+        store.add(ExampleDocument(cid=node.cid, tokens=list(tokens)))
+    return store

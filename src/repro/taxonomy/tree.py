@@ -1,0 +1,219 @@
+"""The user-facing topic taxonomy (the paper's class tree C).
+
+The paper's problem formulation (§1.1): a tree-shaped topic directory C
+(like Yahoo!), a set of example pages D(c) per node, and a user-chosen
+subset of *good* topics C*.  Topics in the subtree of a good topic are
+*subsumed*; ancestors of good topics are *path* topics; everything else
+is *null* (uninteresting for this crawl, but re-markable for another).
+
+Class ids are 16-bit integers, as in the paper; the root always has
+cid 1 and, by definition, Pr[root | d] = 1 for every document.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Optional, Sequence
+
+from repro.webgraph.topics import TopicNode
+
+ROOT_CID = 1
+
+
+class NodeMark(enum.Enum):
+    """The paper's node markings (Figure 1: ``type`` column of TAXONOMY)."""
+
+    NULL = "null"
+    GOOD = "good"
+    PATH = "path"
+    SUBSUMED = "subsumed"
+
+
+@dataclass
+class TaxonomyNode:
+    """One class node: 16-bit cid, name, tree links, and its mark."""
+
+    cid: int
+    name: str
+    path: str
+    parent: Optional["TaxonomyNode"] = field(default=None, repr=False)
+    children: list["TaxonomyNode"] = field(default_factory=list)
+    mark: NodeMark = NodeMark.NULL
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def ancestors(self) -> list["TaxonomyNode"]:
+        out = []
+        node = self.parent
+        while node is not None:
+            out.append(node)
+            node = node.parent
+        return out
+
+    def subtree(self) -> Iterator["TaxonomyNode"]:
+        yield self
+        for child in self.children:
+            yield from child.subtree()
+
+    def depth(self) -> int:
+        return len(self.ancestors())
+
+
+class TopicTaxonomy:
+    """The class tree with cid assignment, marking, and lookups."""
+
+    def __init__(self, root: TaxonomyNode) -> None:
+        self.root = root
+        self._by_cid: Dict[int, TaxonomyNode] = {}
+        self._by_path: Dict[str, TaxonomyNode] = {}
+        for node in root.subtree():
+            self._by_cid[node.cid] = node
+            self._by_path[node.path] = node
+
+    # -- construction ------------------------------------------------------------
+    @classmethod
+    def from_topic_tree(cls, topic_root: TopicNode) -> "TopicTaxonomy":
+        """Mirror a ground-truth :class:`~repro.webgraph.topics.TopicNode` tree.
+
+        The taxonomy copies only the tree *structure* and names — never any
+        page's ground-truth label.  cids are assigned in BFS order starting
+        at :data:`ROOT_CID` so parent cids are always smaller than child
+        cids (a property the bulk classifier's topological evaluation uses).
+        """
+        root = TaxonomyNode(cid=ROOT_CID, name="root", path="")
+        next_cid = ROOT_CID + 1
+        queue: list[tuple[TopicNode, TaxonomyNode]] = [(topic_root, root)]
+        while queue:
+            source, target = queue.pop(0)
+            for child in source.children:
+                node = TaxonomyNode(
+                    cid=next_cid,
+                    name=child.name,
+                    path=child.path,
+                    parent=target,
+                )
+                next_cid += 1
+                if next_cid >= 1 << 16:
+                    raise ValueError("taxonomy exceeds 16-bit class id space")
+                target.children.append(node)
+                queue.append((child, node))
+        return cls(root)
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "TopicTaxonomy":
+        """Build directly from a nested dict spec (see :func:`repro.webgraph.topics.build_tree`)."""
+        from repro.webgraph.topics import build_tree
+
+        return cls.from_topic_tree(build_tree(spec))
+
+    # -- lookups ------------------------------------------------------------------
+    def node(self, cid: int) -> TaxonomyNode:
+        try:
+            return self._by_cid[cid]
+        except KeyError:
+            raise KeyError(f"no class with cid {cid}") from None
+
+    def by_path(self, path: str) -> TaxonomyNode:
+        try:
+            return self._by_path[path]
+        except KeyError:
+            raise KeyError(f"no class with path {path!r}") from None
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._by_path
+
+    def __len__(self) -> int:
+        return len(self._by_cid)
+
+    def nodes(self) -> list[TaxonomyNode]:
+        return list(self.root.subtree())
+
+    def leaves(self) -> list[TaxonomyNode]:
+        return [n for n in self.nodes() if n.is_leaf]
+
+    def internal_nodes(self) -> list[TaxonomyNode]:
+        return [n for n in self.nodes() if not n.is_leaf]
+
+    # -- marking -------------------------------------------------------------------
+    def mark_good(self, paths: Sequence[str]) -> None:
+        """Mark *paths* good; ancestors become path topics, descendants subsumed.
+
+        Matches the formulation's constraint that no good topic is an
+        ancestor of another good topic; violating inputs raise ValueError.
+        """
+        nodes = [self.by_path(p) for p in paths]
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1 :]:
+                if a in b.ancestors() or b in a.ancestors():
+                    raise ValueError(
+                        f"good topics may not be nested: {a.path!r} / {b.path!r}"
+                    )
+        for node in self.nodes():
+            node.mark = NodeMark.NULL
+        for node in nodes:
+            node.mark = NodeMark.GOOD
+            for ancestor in node.ancestors():
+                ancestor.mark = NodeMark.PATH
+            for descendant in node.subtree():
+                if descendant is not node:
+                    descendant.mark = NodeMark.SUBSUMED
+
+    def add_good(self, path: str) -> None:
+        """Mark one more topic good without clearing existing marks.
+
+        This is the §3.7 stagnation fix: "One update statement marking the
+        ancestor good fixed this stagnation problem."  When the new good
+        topic is an ancestor of an existing good topic, the old good topic
+        becomes subsumed.
+        """
+        node = self.by_path(path)
+        node.mark = NodeMark.GOOD
+        for descendant in node.subtree():
+            if descendant is not node and descendant.mark in (NodeMark.GOOD, NodeMark.NULL, NodeMark.PATH):
+                descendant.mark = NodeMark.SUBSUMED
+        for ancestor in node.ancestors():
+            if ancestor.mark is NodeMark.NULL:
+                ancestor.mark = NodeMark.PATH
+
+    def good_nodes(self) -> list[TaxonomyNode]:
+        return [n for n in self.nodes() if n.mark is NodeMark.GOOD]
+
+    def path_nodes(self) -> list[TaxonomyNode]:
+        return [n for n in self.nodes() if n.mark is NodeMark.PATH or n.is_root]
+
+    def good_paths(self) -> list[str]:
+        return [n.path for n in self.good_nodes()]
+
+    def is_good_or_subsumed(self, cid: int) -> bool:
+        node = self.node(cid)
+        return node.mark in (NodeMark.GOOD, NodeMark.SUBSUMED)
+
+    def good_ancestor_of(self, cid: int) -> Optional[TaxonomyNode]:
+        """The good node on or above *cid*, if any (used by the hard focus rule)."""
+        node = self.node(cid)
+        if node.mark is NodeMark.GOOD:
+            return node
+        for ancestor in node.ancestors():
+            if ancestor.mark is NodeMark.GOOD:
+                return ancestor
+        return None
+
+    # -- evaluation order -------------------------------------------------------------
+    def evaluation_frontier(self) -> list[TaxonomyNode]:
+        """Internal nodes that must be evaluated to score the good nodes.
+
+        These are the root plus every path node — the paper evaluates
+        BulkProbe "at all path nodes in topological order" (Figure 3
+        caption).  Returned in topological (parent before child) order.
+        """
+        wanted = {n.cid for n in self.path_nodes()}
+        wanted.add(ROOT_CID)
+        ordered = [n for n in self.nodes() if n.cid in wanted and not n.is_leaf]
+        return sorted(ordered, key=lambda n: n.depth())

@@ -1,0 +1,126 @@
+"""The simulated fetcher: how crawlers observe the synthetic web.
+
+A crawler never touches :class:`~repro.webgraph.graph.WebGraph` ground
+truth directly; it calls :meth:`Fetcher.fetch` with a URL and gets back a
+:class:`FetchResult` carrying only what an HTTP fetch plus HTML parsing
+would yield — status, tokens, out-links, and the serving host.  The
+fetcher also simulates transient server failures and dead links (404s),
+and accumulates simulated latency so experiments can report a crawl
+"timeline" without real network time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .graph import WebGraph
+from .urls import host_of, normalize_url, server_sid, url_oid
+
+
+class FetchStatus(enum.Enum):
+    """Outcome of a single fetch attempt."""
+
+    OK = "ok"
+    NOT_FOUND = "not_found"      # dead link / page does not exist
+    SERVER_ERROR = "server_error"  # transient failure, retry may succeed
+
+
+@dataclass
+class FetchResult:
+    """What the crawler learns from one fetch attempt."""
+
+    url: str
+    status: FetchStatus
+    tokens: list[str] = field(default_factory=list)
+    out_links: list[str] = field(default_factory=list)
+    server: str = ""
+    latency_ms: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status is FetchStatus.OK
+
+    @property
+    def oid(self) -> int:
+        return url_oid(self.url)
+
+    @property
+    def sid(self) -> int:
+        return server_sid(self.server or host_of(self.url))
+
+
+@dataclass
+class FetchStats:
+    """Aggregate fetcher counters."""
+
+    attempts: int = 0
+    successes: int = 0
+    not_found: int = 0
+    server_errors: int = 0
+    total_latency_ms: float = 0.0
+
+    def record(self, result: FetchResult) -> None:
+        self.attempts += 1
+        self.total_latency_ms += result.latency_ms
+        if result.status is FetchStatus.OK:
+            self.successes += 1
+        elif result.status is FetchStatus.NOT_FOUND:
+            self.not_found += 1
+        else:
+            self.server_errors += 1
+
+
+class Fetcher:
+    """Fetches pages from a :class:`WebGraph`, simulating network behaviour.
+
+    ``failure_seed`` controls the transient-failure stream independently of
+    the graph's own seed so crawl experiments are repeatable.
+    """
+
+    def __init__(self, web: WebGraph, failure_seed: int = 0, simulate_failures: bool = True) -> None:
+        self.web = web
+        self.simulate_failures = simulate_failures
+        self.stats = FetchStats()
+        self._rng = np.random.default_rng(failure_seed)
+
+    def fetch(self, url: str) -> FetchResult:
+        """Attempt to fetch *url* once."""
+        normalized = normalize_url(url)
+        host = host_of(normalized)
+        if not self.web.has_page(normalized):
+            result = FetchResult(
+                url=normalized,
+                status=FetchStatus.NOT_FOUND,
+                server=host,
+                latency_ms=float(self._rng.exponential(80.0)),
+            )
+            self.stats.record(result)
+            return result
+        page = self.web.page(normalized)
+        if self.simulate_failures and host in self.web.servers:
+            success, latency = self.web.servers.simulate_fetch(host)
+        else:
+            success, latency = True, float(self._rng.exponential(100.0))
+        if not success:
+            result = FetchResult(
+                url=normalized,
+                status=FetchStatus.SERVER_ERROR,
+                server=page.server,
+                latency_ms=latency,
+            )
+            self.stats.record(result)
+            return result
+        result = FetchResult(
+            url=normalized,
+            status=FetchStatus.OK,
+            tokens=list(page.tokens),
+            out_links=[normalize_url(t) for t in page.out_links],
+            server=page.server,
+            latency_ms=latency,
+        )
+        self.stats.record(result)
+        return result

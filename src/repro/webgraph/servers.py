@@ -1,0 +1,85 @@
+"""Web-server simulation: hosts, latency, and transient failures.
+
+The paper's crawler tracks a per-URL ``numtries`` (fetch attempts) and a
+per-server ``serverload`` (distinct URLs fetched from the same server) so
+the frontier ordering can avoid hammering one site and can shelve dead
+links.  To exercise those code paths the synthetic web models each server
+with a deterministic-per-seed latency and failure profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .urls import server_sid
+
+
+@dataclass
+class ServerProfile:
+    """Behavioural parameters of one synthetic web server."""
+
+    name: str
+    #: Mean simulated latency per fetch, in milliseconds.
+    mean_latency_ms: float = 120.0
+    #: Probability that any given fetch fails transiently (timeout, 5xx).
+    failure_rate: float = 0.02
+    #: Maximum concurrent/total politeness budget; crawlers may consult this.
+    max_fetches_per_window: int = 10_000
+
+    @property
+    def sid(self) -> int:
+        return server_sid(self.name)
+
+
+@dataclass
+class ServerPool:
+    """The set of servers making up the synthetic web."""
+
+    profiles: Dict[str, ServerProfile] = field(default_factory=dict)
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+
+    def add(self, profile: ServerProfile) -> ServerProfile:
+        self.profiles[profile.name] = profile
+        return profile
+
+    def ensure(self, name: str, **kwargs) -> ServerProfile:
+        if name not in self.profiles:
+            self.profiles[name] = ServerProfile(name=name, **kwargs)
+        return self.profiles[name]
+
+    def get(self, name: str) -> ServerProfile:
+        try:
+            return self.profiles[name]
+        except KeyError:
+            raise KeyError(f"unknown server {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.profiles
+
+    def __len__(self) -> int:
+        return len(self.profiles)
+
+    # -- simulation -------------------------------------------------------------
+    def simulate_fetch(self, name: str) -> tuple[bool, float]:
+        """Simulate one fetch from server *name*.
+
+        Returns ``(success, latency_ms)``.  Latency is exponential around
+        the server's mean; a failed fetch still costs (a fraction of) the
+        latency, modelling timeouts.
+        """
+        profile = self.get(name)
+        latency = float(self.rng.exponential(profile.mean_latency_ms))
+        if self.rng.random() < profile.failure_rate:
+            return False, latency * 2.5  # timeouts are slower than successes
+        return True, latency
+
+    def names(self) -> list[str]:
+        return sorted(self.profiles)
+
+
+def default_server_name(topic_slug: str, index: int) -> str:
+    """Server naming scheme: several hosts per topic plus generic hosts."""
+    return f"{topic_slug}{index}.example.org"

@@ -1,0 +1,142 @@
+"""Topic trees for the synthetic web (the role Yahoo! plays in the paper).
+
+A :class:`TopicNode` tree describes the ground-truth topics that pages of
+the synthetic web are generated from.  The same tree is exported to the
+Focus system's :mod:`repro.taxonomy` (with 16-bit class ids, as in the
+paper) — but the Focus system never sees a page's ground-truth topic,
+only its generated text, exactly as a real crawler only sees HTML.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+ROOT_NAME = "root"
+
+
+@dataclass
+class TopicNode:
+    """A node in the ground-truth topic tree."""
+
+    name: str
+    children: list["TopicNode"] = field(default_factory=list)
+    parent: Optional["TopicNode"] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        for child in self.children:
+            child.parent = self
+
+    # -- structure -----------------------------------------------------------
+    def add_child(self, name: str) -> "TopicNode":
+        child = TopicNode(name, parent=self)
+        self.children.append(child)
+        return child
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def path(self) -> str:
+        """Slash-joined path excluding the root (the root's path is '')."""
+        parts = []
+        node: Optional[TopicNode] = self
+        while node is not None and node.parent is not None:
+            parts.append(node.name)
+            node = node.parent
+        return "/".join(reversed(parts))
+
+    def walk(self) -> Iterator["TopicNode"]:
+        """Pre-order traversal including self."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def leaves(self) -> list["TopicNode"]:
+        return [node for node in self.walk() if node.is_leaf]
+
+    def find(self, path: str) -> "TopicNode":
+        """Resolve a slash path relative to this node; '' returns self."""
+        if not path:
+            return self
+        node = self
+        for part in path.split("/"):
+            for child in node.children:
+                if child.name == part:
+                    node = child
+                    break
+            else:
+                raise KeyError(f"no topic {path!r} under {self.path or ROOT_NAME!r}")
+        return node
+
+    def ancestors(self) -> list["TopicNode"]:
+        """Ancestors from parent up to (and including) the root."""
+        out = []
+        node = self.parent
+        while node is not None:
+            out.append(node)
+            node = node.parent
+        return out
+
+    def depth(self) -> int:
+        return len(self.ancestors())
+
+    def __iter__(self) -> Iterator["TopicNode"]:
+        return iter(self.children)
+
+
+def build_tree(spec: dict) -> TopicNode:
+    """Build a tree from a nested dict spec: ``{"recreation": {"cycling": {}}}``."""
+    root = TopicNode(ROOT_NAME)
+
+    def attach(parent: TopicNode, mapping: dict) -> None:
+        for name, sub in mapping.items():
+            child = parent.add_child(name)
+            if sub:
+                attach(child, sub)
+
+    attach(root, spec)
+    return root
+
+
+#: The default Yahoo!-like master category list used throughout the
+#: reproduction.  Leaves mirror the paper's experimental topics
+#: (cycling, mutual funds, HIV/AIDS, gardening) plus enough sibling and
+#: distractor topics that classification is non-trivial, and a
+#: ``first_aid`` topic whose pages co-occur near cycling pages (the
+#: "citation sociology" example in §1).
+DEFAULT_TOPIC_SPEC: dict = {
+    "arts": {"music": {}, "photography": {}},
+    "business": {
+        "investment": {"mutual_funds": {}, "stocks": {}},
+        "companies": {},
+    },
+    "computers": {"software": {}, "internet": {}},
+    "health": {"hiv_aids": {}, "first_aid": {}, "nutrition": {}},
+    "recreation": {
+        "cycling": {},
+        "running": {},
+        "motorcycles": {},
+        "gardening": {},
+    },
+    "science": {"biology": {}, "physics": {}},
+    "sports": {"soccer": {}, "basketball": {}},
+}
+
+
+def default_topic_tree() -> TopicNode:
+    """The default ground-truth topic tree."""
+    return build_tree(DEFAULT_TOPIC_SPEC)
+
+
+def leaf_paths(root: TopicNode) -> list[str]:
+    return [leaf.path for leaf in root.leaves()]
+
+
+def sibling_paths(root: TopicNode, path: str) -> list[str]:
+    """Leaf paths that share a parent with *path* (excluding it)."""
+    node = root.find(path)
+    if node.parent is None:
+        return []
+    return [c.path for c in node.parent.children if c is not node and c.is_leaf]

@@ -1,0 +1,85 @@
+"""URL synthesis, normalisation, and hashing for the synthetic web.
+
+The paper's schema keys pages by a 64-bit hashed ``oid`` and servers by a
+``sid`` (derived from the serving IP address).  We reproduce both: every
+synthetic page gets a URL of the form ``http://<host>/<path>``; ``oid``
+is a 64-bit hash of the normalised URL and ``sid`` a hash of the host.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from urllib.parse import urlsplit, urlunsplit
+
+
+def _hash64(text: str) -> int:
+    """Stable 64-bit hash (first 8 bytes of blake2b)."""
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def normalize_url(url: str) -> str:
+    """Canonicalise a URL: lowercase scheme/host, strip fragments, default paths.
+
+    Normalisation matters because the crawl frontier must not treat
+    ``http://example.com`` and ``http://example.com/`` as two pages.
+    """
+    parts = urlsplit(url.strip())
+    scheme = (parts.scheme or "http").lower()
+    netloc = parts.netloc.lower()
+    if netloc.endswith(":80") and scheme == "http":
+        netloc = netloc[: -len(":80")]
+    path = parts.path or "/"
+    # Collapse duplicate slashes but preserve a trailing path.
+    while "//" in path:
+        path = path.replace("//", "/")
+    return urlunsplit((scheme, netloc, path, parts.query, ""))
+
+
+def url_oid(url: str) -> int:
+    """64-bit object id of a page URL (the paper's ``oid``)."""
+    return _hash64(normalize_url(url))
+
+
+def host_of(url: str) -> str:
+    return urlsplit(normalize_url(url)).netloc
+
+
+def server_sid(url_or_host: str) -> int:
+    """64-bit server id (the paper's ``sid``), derived from the host name.
+
+    The paper notes DNS aberrations (load balancing, multi-homing) make
+    IP-based sids imperfect but tolerable; host-name hashing has the same
+    role here.
+    """
+    host = url_or_host if "/" not in url_or_host else host_of(url_or_host)
+    return _hash64(host.lower())
+
+
+@dataclass(frozen=True)
+class SyntheticUrl:
+    """A structured synthetic URL: ``http://{host}/{path}``."""
+
+    host: str
+    path: str
+
+    def __str__(self) -> str:
+        return f"http://{self.host}/{self.path}"
+
+    @property
+    def url(self) -> str:
+        return str(self)
+
+    @property
+    def oid(self) -> int:
+        return url_oid(self.url)
+
+    @property
+    def sid(self) -> int:
+        return server_sid(self.host)
+
+
+def make_url(server_name: str, page_index: int, topic_slug: str = "page") -> SyntheticUrl:
+    """Generate a synthetic URL for the *page_index*-th page on *server_name*."""
+    return SyntheticUrl(host=server_name, path=f"{topic_slug}/{page_index}.html")

@@ -1,0 +1,163 @@
+"""Term universe and per-topic term distributions for the synthetic web.
+
+The paper's generative model (§2.1.1) writes a document by repeatedly
+rolling a die whose faces are terms and whose face probabilities are the
+class-conditional parameters θ(c, t).  To *simulate the Web* we need the
+inverse: a ground-truth θ for every topic so that page text can be
+generated, and so that the trained classifier has a learnable signal.
+
+Each leaf topic gets a block of characteristic terms layered on top of a
+shared Zipfian background vocabulary (stopword-like terms every page
+uses).  Internal topics mix their children's distributions, matching the
+paper's hierarchical model where a document of a leaf class also belongs
+to every ancestor.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+
+def term_id(term: str) -> int:
+    """Stable 32-bit term id (the paper uses 32-bit hash codes for terms)."""
+    return zlib.crc32(term.encode("utf-8")) & 0xFFFFFFFF
+
+
+@dataclass
+class TermDistribution:
+    """A multinomial over terms: parallel arrays of term strings and probabilities."""
+
+    terms: np.ndarray  # dtype=object (str)
+    probabilities: np.ndarray  # dtype=float, sums to 1
+
+    def __post_init__(self) -> None:
+        total = float(self.probabilities.sum())
+        if total <= 0:
+            raise ValueError("term distribution must have positive mass")
+        self.probabilities = self.probabilities / total
+
+    def sample(self, rng: np.random.Generator, n_terms: int) -> list[str]:
+        """Draw *n_terms* terms i.i.d. from the distribution."""
+        indices = rng.choice(len(self.terms), size=n_terms, p=self.probabilities)
+        return [self.terms[i] for i in indices]
+
+    def probability_of(self, term: str) -> float:
+        matches = np.where(self.terms == term)[0]
+        if len(matches) == 0:
+            return 0.0
+        return float(self.probabilities[matches[0]])
+
+    def top_terms(self, k: int) -> list[str]:
+        order = np.argsort(-self.probabilities)[:k]
+        return [self.terms[i] for i in order]
+
+    @staticmethod
+    def mixture(
+        components: Sequence["TermDistribution"], weights: Optional[Sequence[float]] = None
+    ) -> "TermDistribution":
+        """Combine distributions with the given weights (uniform by default)."""
+        if not components:
+            raise ValueError("mixture needs at least one component")
+        if weights is None:
+            weights = [1.0 / len(components)] * len(components)
+        if len(weights) != len(components):
+            raise ValueError("weights must match components")
+        mass: Dict[str, float] = {}
+        for dist, weight in zip(components, weights):
+            for term, prob in zip(dist.terms, dist.probabilities):
+                mass[term] = mass.get(term, 0.0) + weight * float(prob)
+        terms = np.array(list(mass.keys()), dtype=object)
+        probabilities = np.array([mass[t] for t in terms], dtype=float)
+        return TermDistribution(terms, probabilities)
+
+
+def zipf_probabilities(n: int, exponent: float = 1.05) -> np.ndarray:
+    """Zipf-like rank probabilities for *n* items."""
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = 1.0 / np.power(ranks, exponent)
+    return weights / weights.sum()
+
+
+@dataclass
+class Vocabulary:
+    """The full synthetic term universe.
+
+    ``background_terms`` appear in every document (function words).
+    ``topic_terms`` maps a topic path (e.g. ``"recreation/cycling"``) to
+    that topic's characteristic terms.
+    """
+
+    background_terms: list[str]
+    topic_terms: dict[str, list[str]] = field(default_factory=dict)
+
+    #: Probability mass a leaf topic's documents devote to topical terms
+    #: (the rest goes to the shared background vocabulary).
+    topical_mass: float = 0.55
+
+    def __post_init__(self) -> None:
+        self._background_dist = TermDistribution(
+            np.array(self.background_terms, dtype=object),
+            zipf_probabilities(len(self.background_terms)),
+        )
+        self._leaf_dists: dict[str, TermDistribution] = {}
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        topic_paths: Iterable[str],
+        background_size: int = 400,
+        terms_per_topic: int = 60,
+        topical_mass: float = 0.55,
+    ) -> "Vocabulary":
+        """Create a vocabulary with a fresh term block for every topic path."""
+        background = [f"common{i:04d}" for i in range(background_size)]
+        topic_terms = {}
+        for path in topic_paths:
+            slug = path.replace("/", "_")
+            topic_terms[path] = [f"{slug}_t{i:03d}" for i in range(terms_per_topic)]
+        return cls(background, topic_terms, topical_mass)
+
+    # -- distributions -----------------------------------------------------------
+    @property
+    def background(self) -> TermDistribution:
+        return self._background_dist
+
+    def leaf_distribution(self, topic_path: str) -> TermDistribution:
+        """The ground-truth θ(c, ·) for a leaf topic: topical block + background."""
+        if topic_path not in self.topic_terms:
+            raise KeyError(f"no topical terms for {topic_path!r}")
+        if topic_path not in self._leaf_dists:
+            topical = TermDistribution(
+                np.array(self.topic_terms[topic_path], dtype=object),
+                zipf_probabilities(len(self.topic_terms[topic_path]), exponent=0.8),
+            )
+            self._leaf_dists[topic_path] = TermDistribution.mixture(
+                [topical, self._background_dist],
+                [self.topical_mass, 1.0 - self.topical_mass],
+            )
+        return self._leaf_dists[topic_path]
+
+    def blended_distribution(
+        self, topic_weights: Mapping[str, float], background_weight: float = 0.0
+    ) -> TermDistribution:
+        """Mixture of several leaf topics (used for hub pages and noisy pages)."""
+        components = [self.leaf_distribution(path) for path in topic_weights]
+        weights = [float(w) for w in topic_weights.values()]
+        if background_weight > 0:
+            components.append(self._background_dist)
+            weights.append(background_weight)
+        return TermDistribution.mixture(components, weights)
+
+    def all_terms(self) -> list[str]:
+        out = list(self.background_terms)
+        for terms in self.topic_terms.values():
+            out.extend(terms)
+        return out
+
+    def topic_paths(self) -> list[str]:
+        return sorted(self.topic_terms)

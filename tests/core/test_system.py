@@ -1,0 +1,121 @@
+"""End-to-end tests of the FocusSystem facade and the crawl-table schema."""
+
+import pytest
+
+from repro.core.config import FocusConfig
+from repro.core.schema import CRAWL_STATUSES, create_crawl_tables, create_focus_database
+from repro.core.system import FocusSystem
+from repro.crawler.focused import CrawlerConfig
+from repro.minidb import Database
+
+GOOD = "recreation/cycling"
+
+
+class TestSchema:
+    def test_create_focus_database_has_all_tables(self):
+        database = create_focus_database(buffer_pool_pages=64)
+        for table in ("CRAWL", "LINK", "HUBS", "AUTH"):
+            assert database.has_table(table)
+        assert "visited" in CRAWL_STATUSES
+
+    def test_create_crawl_tables_is_idempotent(self):
+        database = Database()
+        create_crawl_tables(database)
+        create_crawl_tables(database)
+        assert database.table_names().count("CRAWL") == 1
+
+    def test_crawl_table_has_expected_columns(self):
+        database = create_focus_database()
+        columns = database.table("CRAWL").schema.column_names
+        for expected in ("oid", "url", "sid", "relevance", "numtries", "serverload", "lastvisited", "kcid", "status"):
+            assert expected in columns
+
+
+@pytest.fixture(scope="module")
+def system(small_web):
+    config = FocusConfig(
+        good_topics=(GOOD,),
+        examples_per_leaf=12,
+        seed_count=10,
+        crawler=CrawlerConfig(max_pages=120, distill_every=60),
+    )
+    focus = FocusSystem.from_web(small_web, [GOOD], config)
+    focus.train()
+    return focus
+
+
+@pytest.fixture(scope="module")
+def crawl_result(system):
+    return system.crawl(max_pages=120)
+
+
+class TestFocusSystem:
+    def test_bootstrap_builds_everything(self):
+        config = FocusConfig(
+            good_topics=(GOOD,),
+            examples_per_leaf=8,
+            web=None,
+            crawler=CrawlerConfig(max_pages=30, distill_every=0),
+        )
+        # Use a tiny web so bootstrap stays fast.
+        from tests.conftest import small_web_config
+
+        config = config.copy_with(web=small_web_config(seed=21))
+        system = FocusSystem.bootstrap(config)
+        model = system.train()
+        assert model.parameter_count() > 0
+        result = system.crawl(max_pages=30)
+        assert result.pages_fetched() == 30
+
+    def test_good_topic_marked_in_taxonomy(self, system):
+        assert system.taxonomy.by_path(GOOD).mark.value == "good"
+
+    def test_default_seeds_are_on_topic(self, system, small_web):
+        seeds = system.default_seeds()
+        assert len(seeds) == 10
+        assert all(small_web.topic_of(u) == GOOD for u in seeds)
+
+    def test_crawl_result_metrics(self, crawl_result):
+        assert crawl_result.pages_fetched() == 120
+        assert 0.0 < crawl_result.harvest_rate() <= 1.0
+        assert 0.0 <= crawl_result.ground_truth_precision() <= 1.0
+        series = crawl_result.harvest_series(window=50)
+        assert len(series) == 120
+        histogram = crawl_result.authority_distance_histogram(top_k=30)
+        assert sum(histogram.values()) == 30
+
+    def test_focused_beats_unfocused(self, system, crawl_result):
+        unfocused = system.crawl(max_pages=120, focused=False)
+        assert crawl_result.harvest_rate() > unfocused.harvest_rate()
+
+    def test_crawl_database_carries_classifier_tables(self, crawl_result):
+        assert crawl_result.database.has_table("TAXONOMY")
+        census = crawl_result.monitor().topic_census(limit=2)
+        assert census
+
+    def test_install_model_requires_training(self, small_web):
+        system = FocusSystem.from_web(small_web, [GOOD])
+        with pytest.raises(RuntimeError):
+            system.install_model(Database())
+
+    def test_add_good_topic_updates_config(self, small_web):
+        system = FocusSystem.from_web(small_web, ["business/investment/mutual_funds"])
+        system.add_good_topic("business/investment")
+        assert "business/investment" in system.config.good_topics
+
+    def test_mark_good_replaces_previous(self, small_web):
+        system = FocusSystem.from_web(small_web, [GOOD])
+        system.mark_good(["health/hiv_aids"])
+        assert system.taxonomy.good_paths() == ["health/hiv_aids"]
+
+    def test_citation_sociology_runs(self, crawl_result):
+        cotopics = crawl_result.citation_sociology()
+        for cotopic in cotopics:
+            assert cotopic.lift >= 0.0
+            assert cotopic.name  # every co-topic has a printable name
+
+    def test_config_copy_with(self):
+        config = FocusConfig()
+        modified = config.copy_with(seed_count=99)
+        assert modified.seed_count == 99
+        assert config.seed_count == 24

@@ -1,0 +1,144 @@
+"""Tests for crawl orderings and the CRAWL-table-backed frontier."""
+
+import pytest
+
+from repro.core.schema import create_focus_database
+from repro.crawler.frontier import Frontier
+from repro.crawler.policies import (
+    ORDERINGS,
+    aggressive_discovery,
+    breadth_first,
+    crawl_maintenance,
+    ordering_by_name,
+    recovery_ordering,
+    relevance_only,
+)
+
+
+class TestOrderings:
+    def test_aggressive_discovery_key_order(self):
+        ordering = aggressive_discovery(serverload_bucket=1)
+        fresh_relevant = {"numtries": 0, "relevance": 0.9, "serverload": 3}
+        fresh_irrelevant = {"numtries": 0, "relevance": 0.1, "serverload": 0}
+        retried = {"numtries": 2, "relevance": 1.0, "serverload": 0}
+        assert ordering.sort_key(fresh_relevant) < ordering.sort_key(fresh_irrelevant)
+        assert ordering.sort_key(fresh_relevant) < ordering.sort_key(retried)
+
+    def test_serverload_bucketing(self):
+        ordering = aggressive_discovery(serverload_bucket=16)
+        lightly_loaded = {"numtries": 0, "relevance": 0.9, "serverload": 3}
+        moderately_loaded = {"numtries": 0, "relevance": 0.9, "serverload": 12}
+        heavily_loaded = {"numtries": 0, "relevance": 0.9, "serverload": 40}
+        assert ordering.sort_key(lightly_loaded) == ordering.sort_key(moderately_loaded)
+        assert ordering.sort_key(lightly_loaded) < ordering.sort_key(heavily_loaded)
+
+    def test_missing_values_sort_as_zero(self):
+        ordering = relevance_only()
+        assert ordering.sort_key({}) == (0,)
+
+    def test_breadth_first_uses_discovery_order(self):
+        ordering = breadth_first()
+        assert ordering.sort_key({"discovered": 4}) < ordering.sort_key({"discovered": 9})
+
+    def test_registry_and_lookup(self):
+        assert "aggressive_discovery" in ORDERINGS
+        assert ordering_by_name("breadth_first").name == "breadth_first"
+        with pytest.raises(KeyError):
+            ordering_by_name("nope")
+        assert crawl_maintenance().columns() == ["lastvisited", "hub_score"]
+        assert recovery_ordering().columns()[0] == "numtries"
+
+
+class TestFrontier:
+    def make_frontier(self, ordering=None):
+        database = create_focus_database(buffer_pool_pages=64)
+        return Frontier(database, ordering or aggressive_discovery()), database
+
+    def test_add_seed_and_pop(self):
+        frontier, db = self.make_frontier()
+        frontier.add_seed("http://a.example/1")
+        frontier.add_url("http://a.example/2", relevance=0.4)
+        assert len(frontier) == 2
+        assert frontier.pop_next() == "http://a.example/1"
+        assert frontier.pop_next() == "http://a.example/2"
+        assert frontier.pop_next() is None
+
+    def test_crawl_table_mirrors_frontier(self):
+        frontier, db = self.make_frontier()
+        frontier.add_url("http://a.example/x", relevance=0.7)
+        rows = db.sql("select url, relevance, status from CRAWL")
+        assert rows == [{"url": "http://a.example/x", "relevance": 0.7, "status": "frontier"}]
+
+    def test_duplicate_url_keeps_best_priority(self):
+        frontier, _ = self.make_frontier()
+        frontier.add_url("http://a.example/x", relevance=0.2)
+        frontier.add_url("http://A.example/x", relevance=0.9)  # same page, higher priority
+        assert len(frontier) == 1
+        assert frontier.entry("http://a.example/x").relevance == 0.9
+
+    def test_record_visit_updates_table_and_serverload(self):
+        frontier, db = self.make_frontier()
+        frontier.add_seed("http://s.example/1")
+        frontier.add_url("http://s.example/2", relevance=0.5)
+        url = frontier.pop_next()
+        frontier.record_visit(url, relevance=0.8, tick=1, kcid=42)
+        row = db.sql("select status, relevance, kcid, numtries from CRAWL where url = :u", {"u": url})[0]
+        assert row == {"status": "visited", "relevance": 0.8, "kcid": 42, "numtries": 1}
+        # second page on the same server sees the increased server load
+        entry = frontier.entry("http://s.example/2")
+        assert frontier._server_load[entry.sid] == 1
+
+    def test_record_failure_retries_then_gives_up(self):
+        frontier, db = self.make_frontier()
+        frontier.add_seed("http://s.example/1")
+        url = frontier.pop_next()
+        frontier.record_failure(url, max_retries=1)
+        assert frontier.pop_next() == url  # retried once
+        frontier.record_failure(url, max_retries=1)
+        assert frontier.pop_next() is None
+        assert db.sql("select status from CRAWL")[0]["status"] == "dead"
+
+    def test_permanent_failure_kills_immediately(self):
+        frontier, _ = self.make_frontier()
+        frontier.add_seed("http://s.example/1")
+        url = frontier.pop_next()
+        frontier.record_failure(url, max_retries=5, permanent=True)
+        assert frontier.pop_next() is None
+
+    def test_boost_raises_priority_of_unvisited_only(self):
+        frontier, _ = self.make_frontier()
+        frontier.add_url("http://a.example/1", relevance=0.1)
+        frontier.add_url("http://a.example/2", relevance=0.5)
+        frontier.boost("http://a.example/1", relevance=0.9)
+        assert frontier.pop_next() == "http://a.example/1"
+        # boosting a visited page is a no-op
+        frontier.record_visit("http://a.example/1", relevance=0.9, tick=1)
+        frontier.boost("http://a.example/1", relevance=1.0)
+        assert frontier.entry("http://a.example/1").status == "visited"
+
+    def test_requeue_after_pop(self):
+        frontier, _ = self.make_frontier()
+        frontier.add_seed("http://a.example/1")
+        url = frontier.pop_next()
+        frontier.requeue(url)
+        assert frontier.pop_next() == url
+
+    def test_priority_change_reorders_frontier(self):
+        frontier, _ = self.make_frontier(relevance_only())
+        frontier.add_url("http://a.example/low", relevance=0.2)
+        frontier.add_url("http://a.example/high", relevance=0.6)
+        frontier.add_url("http://a.example/low", relevance=0.95)
+        assert frontier.pop_next() == "http://a.example/low"
+
+    def test_set_ordering_rebuilds_heap(self):
+        frontier, _ = self.make_frontier(relevance_only())
+        frontier.add_url("http://a.example/1", relevance=0.9)
+        frontier.add_url("http://b.example/2", relevance=0.1)
+        frontier.set_ordering(breadth_first())
+        assert frontier.pop_next() == "http://a.example/1"
+
+    def test_update_scores_for_maintenance_orderings(self):
+        frontier, _ = self.make_frontier(crawl_maintenance())
+        frontier.add_url("http://a.example/1", relevance=0.5)
+        frontier.update_scores("http://a.example/1", hub_score=0.9, authority_score=0.1)
+        assert frontier.entry("http://a.example/1").hub_score == 0.9

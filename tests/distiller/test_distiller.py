@@ -1,0 +1,192 @@
+"""Tests for relevance-weighted HITS and its database-backed implementations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schema import create_crawl_tables
+from repro.distiller.db_distiller import IndexLookupDistiller, JoinDistiller
+from repro.distiller.hits import DistillationResult, weighted_hits
+from repro.distiller.weights import Link, assign_weights, backward_weight, forward_weight
+from repro.minidb import Database
+
+
+def star_graph(hub_count: int = 3, authority_count: int = 4) -> tuple[list[Link], dict[int, float]]:
+    """Hubs 100..10x each link to every authority 200..20y (all relevant)."""
+    links = []
+    relevance = {}
+    for h in range(hub_count):
+        hub_oid = 100 + h
+        relevance[hub_oid] = 0.8
+        for a in range(authority_count):
+            auth_oid = 200 + a
+            relevance[auth_oid] = 0.9
+            links.append(
+                Link(oid_src=hub_oid, sid_src=h, oid_dst=auth_oid, sid_dst=1000 + a,
+                     wgt_fwd=0.9, wgt_rev=0.8)
+            )
+    return links, relevance
+
+
+class TestEdgeWeights:
+    def test_forward_and_backward_weights_clamped(self):
+        assert forward_weight(0.7) == 0.7
+        assert forward_weight(1.5) == 1.0
+        assert forward_weight(-0.2) == 0.0
+        assert forward_weight(None, default=0.3) == 0.3
+        assert backward_weight(0.4) == 0.4
+
+    def test_assign_weights_uses_relevance_map(self):
+        links = [Link(1, 10, 2, 20), Link(2, 20, 3, 30)]
+        weighted = assign_weights(links, {1: 0.9, 2: 0.5}, default_unknown=0.1)
+        assert weighted[0].wgt_rev == 0.9  # source relevance
+        assert weighted[0].wgt_fwd == 0.5  # destination relevance
+        assert weighted[1].wgt_fwd == 0.1  # unknown destination
+
+    def test_nepotism_detection(self):
+        assert Link(1, 5, 2, 5).is_nepotistic
+        assert not Link(1, 5, 2, 6).is_nepotistic
+
+
+class TestWeightedHits:
+    def test_star_graph_scores_and_normalisation(self):
+        links, relevance = star_graph()
+        result = weighted_hits(links, relevance, rho=0.1)
+        assert sum(result.hub_scores.values()) == pytest.approx(1.0)
+        assert sum(result.authority_scores.values()) == pytest.approx(1.0)
+        assert set(result.hub_scores) == {100, 101, 102}
+        assert set(result.authority_scores) == {200, 201, 202, 203}
+        # Symmetric graph ⇒ symmetric scores.
+        hubs = list(result.hub_scores.values())
+        assert max(hubs) == pytest.approx(min(hubs))
+
+    def test_nepotistic_edges_excluded(self):
+        links = [Link(1, 7, 2, 7, 0.9, 0.9), Link(3, 8, 2, 9, 0.9, 0.9)]
+        relevance = {1: 0.9, 2: 0.9, 3: 0.9}
+        result = weighted_hits(links, relevance)
+        assert 1 not in result.hub_scores  # its only edge was same-server
+        assert 3 in result.hub_scores
+
+    def test_rho_filter_drops_irrelevant_authorities(self):
+        links, relevance = star_graph()
+        relevance[200] = 0.01  # below rho
+        result = weighted_hits(links, relevance, rho=0.1)
+        assert 200 not in result.authority_scores
+
+    def test_relevance_weighting_demotes_offtopic_popular_pages(self):
+        """The paper's motivation: an off-topic but universally cited page
+        should dominate classical HITS yet be demoted by weighted HITS."""
+        links, relevance = star_graph(hub_count=4, authority_count=2)
+        popular = 999
+        relevance[popular] = 0.15  # barely above rho, clearly off-topic
+        for h in range(4):
+            links.append(Link(100 + h, h, popular, 5000, wgt_fwd=0.15, wgt_rev=0.8))
+        weighted = weighted_hits(links, relevance, rho=0.1)
+        unweighted = weighted_hits(links, relevance, rho=0.1, use_relevance_weights=False)
+        assert weighted.authority_scores[popular] < unweighted.authority_scores[popular]
+
+    def test_empty_graph(self):
+        result = weighted_hits([], {})
+        assert result.hub_scores == {} and result.iterations == 0
+
+    def test_top_hubs_and_threshold(self):
+        links, relevance = star_graph()
+        result = weighted_hits(links, relevance)
+        top = result.top_hubs(2)
+        assert len(top) == 2
+        assert result.hub_threshold(0.9) > 0
+
+    @given(
+        edges=st.lists(
+            st.tuples(st.integers(0, 8), st.integers(9, 18)), min_size=1, max_size=40
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_scores_always_normalised_property(self, edges):
+        links = [Link(s, s, d, d + 100, 0.8, 0.8) for s, d in edges]
+        relevance = {oid: 0.8 for pair in edges for oid in pair}
+        result = weighted_hits(links, relevance, rho=0.1, max_iterations=5)
+        if result.authority_scores:
+            assert sum(result.authority_scores.values()) == pytest.approx(1.0)
+        if result.hub_scores:
+            assert sum(result.hub_scores.values()) == pytest.approx(1.0)
+        assert all(s >= 0 for s in result.hub_scores.values())
+
+
+def build_crawl_database(links, relevance) -> Database:
+    database = Database(buffer_pool_pages=256)
+    create_crawl_tables(database)
+    crawl = database.table("CRAWL")
+    sid_of = {}
+    for link in links:
+        sid_of[link.oid_src] = link.sid_src
+        sid_of.setdefault(link.oid_dst, link.sid_dst)
+    for oid, rel in relevance.items():
+        crawl.insert(
+            {
+                "oid": oid,
+                "url": f"http://site{oid}.example/",
+                "sid": sid_of.get(oid, oid),
+                "relevance": rel,
+                "numtries": 1,
+                "serverload": 0,
+                "lastvisited": 1,
+                "kcid": None,
+                "status": "visited",
+            }
+        )
+    database.table("LINK").insert_many(
+        {
+            "oid_src": l.oid_src,
+            "sid_src": l.sid_src,
+            "oid_dst": l.oid_dst,
+            "sid_dst": l.sid_dst,
+            "wgt_fwd": l.wgt_fwd,
+            "wgt_rev": l.wgt_rev,
+        }
+        for l in links
+    )
+    return database
+
+
+class TestDbDistillers:
+    @pytest.mark.parametrize("distiller_cls", [JoinDistiller, IndexLookupDistiller])
+    def test_db_distiller_matches_in_memory_reference(self, distiller_cls):
+        links, relevance = star_graph(hub_count=4, authority_count=3)
+        # Add an asymmetry so the scores are not all equal.
+        links.append(Link(100, 0, 205, 4000, 0.9, 0.8))
+        relevance[205] = 0.9
+        reference = weighted_hits(links, relevance, rho=0.1, max_iterations=3)
+        database = build_crawl_database(links, relevance)
+        distiller = distiller_cls(database, rho=0.1)
+        result = distiller.run(iterations=3)
+        assert set(result.hub_scores) == set(reference.hub_scores)
+        for oid, score in reference.hub_scores.items():
+            assert result.hub_scores[oid] == pytest.approx(score, abs=1e-9)
+        for oid, score in reference.authority_scores.items():
+            assert result.authority_scores[oid] == pytest.approx(score, abs=1e-9)
+
+    def test_join_and_lookup_agree_with_each_other(self):
+        links, relevance = star_graph(hub_count=5, authority_count=4)
+        join_result = JoinDistiller(build_crawl_database(links, relevance), rho=0.1).run(2)
+        lookup_result = IndexLookupDistiller(build_crawl_database(links, relevance), rho=0.1).run(2)
+        for oid in join_result.authority_scores:
+            assert join_result.authority_scores[oid] == pytest.approx(
+                lookup_result.authority_scores[oid], abs=1e-9
+            )
+
+    def test_cost_breakdown_populated(self):
+        links, relevance = star_graph()
+        database = build_crawl_database(links, relevance)
+        lookup = IndexLookupDistiller(database, rho=0.1)
+        lookup.run(iterations=1)
+        assert lookup.cost.iterations == 1
+        assert lookup.cost.total() > 0
+        join_db = build_crawl_database(links, relevance)
+        join = JoinDistiller(join_db, rho=0.1)
+        join.run(iterations=1)
+        assert join.cost.join_cost > 0
+
+    def test_empty_link_table_is_handled(self):
+        database = build_crawl_database([], {})
+        result = JoinDistiller(database).run(iterations=2)
+        assert result.hub_scores == {}

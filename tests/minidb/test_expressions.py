@@ -1,0 +1,108 @@
+"""Unit tests for the expression tree used by predicates and projections."""
+
+import math
+
+import pytest
+
+from repro.minidb import QueryError, and_, col, func, in_set, is_null, lit, not_, or_
+from repro.minidb.expressions import ColumnRef
+
+
+ROW = {"a": 5, "b": 2.5, "name": "hub", "missing": None, "CRAWL.oid": 77}
+
+
+class TestColumnResolution:
+    def test_bare_and_qualified_names(self):
+        assert col("a").evaluate(ROW) == 5
+        assert col("CRAWL.oid").evaluate(ROW) == 77
+
+    def test_bare_name_falls_back_to_unique_qualified(self):
+        assert col("oid").evaluate({"CRAWL.oid": 9}) == 9
+
+    def test_ambiguous_bare_name_raises(self):
+        with pytest.raises(QueryError):
+            col("oid").evaluate({"CRAWL.oid": 1, "LINK.oid": 2})
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(QueryError):
+            col("nope").evaluate(ROW)
+
+    def test_qualified_name_falls_back_to_bare(self):
+        assert col("CRAWL.a").evaluate({"a": 3}) == 3
+
+
+class TestComparisonsAndArithmetic:
+    def test_comparisons(self):
+        assert (col("a") > lit(4)).evaluate(ROW) is True
+        assert (col("a") <= lit(4)).evaluate(ROW) is False
+        assert (col("name") == lit("hub")).evaluate(ROW) is True
+        assert (col("name") != lit("auth")).evaluate(ROW) is True
+
+    def test_null_comparisons_are_false(self):
+        assert (col("missing") == lit(None)).evaluate(ROW) is False
+        assert (col("missing") > lit(0)).evaluate(ROW) is False
+
+    def test_arithmetic_and_null_propagation(self):
+        assert (col("a") + col("b")).evaluate(ROW) == 7.5
+        assert (col("a") * lit(2)).evaluate(ROW) == 10
+        assert (col("a") - lit(1)).evaluate(ROW) == 4
+        assert (col("a") / lit(2)).evaluate(ROW) == 2.5
+        assert (col("missing") + lit(1)).evaluate(ROW) is None
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(QueryError):
+            (col("a") / lit(0)).evaluate(ROW)
+
+    def test_negation(self):
+        assert (-col("a")).evaluate(ROW) == -5
+
+    def test_referenced_columns(self):
+        expression = and_(col("a") > lit(1), col("b") < col("a"))
+        assert expression.referenced_columns() == {"a", "b"}
+
+
+class TestBooleanConnectives:
+    def test_and_or_not(self):
+        assert and_(col("a") > lit(1), col("b") > lit(1)).evaluate(ROW) is True
+        assert or_(col("a") > lit(100), col("b") > lit(1)).evaluate(ROW) is True
+        assert not_(col("a") > lit(100)).evaluate(ROW) is True
+
+    def test_empty_and_or(self):
+        assert and_().evaluate(ROW) is True
+        assert or_().evaluate(ROW) is False
+
+    def test_single_part_passthrough(self):
+        single = col("a") > lit(1)
+        assert and_(single) is single
+        assert or_(single) is single
+
+
+class TestFunctionsAndPredicates:
+    def test_in_set(self):
+        assert in_set(col("a"), [1, 5, 9]).evaluate(ROW) is True
+        assert in_set(col("a"), [2, 3], negated=True).evaluate(ROW) is True
+        assert in_set(col("missing"), [None]).evaluate(ROW) is False
+
+    def test_is_null(self):
+        assert is_null(col("missing")).evaluate(ROW) is True
+        assert is_null(col("a"), negated=True).evaluate(ROW) is True
+
+    def test_coalesce_exp_log(self):
+        assert func("coalesce", col("missing"), lit(3)).evaluate(ROW) == 3
+        assert func("exp", lit(0)).evaluate(ROW) == 1.0
+        assert abs(func("log", lit(math.e)).evaluate(ROW) - 1.0) < 1e-12
+        assert func("abs", lit(-2)).evaluate(ROW) == 2
+        assert func("floor", lit(3.7)).evaluate(ROW) == 3
+        assert func("ceil", lit(3.2)).evaluate(ROW) == 4
+        assert func("sqrt", lit(9)).evaluate(ROW) == 3
+
+    def test_log_of_nonpositive_raises(self):
+        with pytest.raises(QueryError):
+            func("log", lit(0)).evaluate(ROW)
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(QueryError):
+            func("bogus", lit(1)).evaluate(ROW)
+
+    def test_null_argument_propagates(self):
+        assert func("exp", col("missing")).evaluate(ROW) is None

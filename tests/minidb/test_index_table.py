@@ -1,0 +1,206 @@
+"""Unit tests for secondary indexes and the Table layer."""
+
+import pytest
+
+from repro.minidb import (
+    CatalogError,
+    ConstraintError,
+    Database,
+    FLOAT,
+    INTEGER,
+    QueryError,
+    TEXT,
+    col,
+    lit,
+    make_schema,
+)
+from repro.minidb.index import HashIndex, OrderedIndex, build_index
+from repro.minidb.pages import PageId, RecordId
+
+
+def rid(n: int) -> RecordId:
+    return RecordId(PageId(0, 0), n)
+
+
+SCHEMA = make_schema(("oid", INTEGER, False), ("sid", INTEGER), ("score", FLOAT))
+
+
+class TestHashIndex:
+    def test_insert_search_delete(self):
+        index = HashIndex("ix", SCHEMA, ["sid"])
+        index.insert((1, 10, 0.5), rid(0))
+        index.insert((2, 10, 0.6), rid(1))
+        index.insert((3, 20, 0.7), rid(2))
+        assert set(index.search((10,))) == {rid(0), rid(1)}
+        assert index.search((99,)) == []
+        index.delete((1, 10, 0.5), rid(0))
+        assert index.search((10,)) == [rid(1)]
+        assert len(index) == 2
+
+    def test_delete_missing_entry_raises(self):
+        index = HashIndex("ix", SCHEMA, ["sid"])
+        with pytest.raises(Exception):
+            index.delete((1, 10, 0.5), rid(0))
+
+    def test_probe_count_increments(self):
+        index = HashIndex("ix", SCHEMA, ["sid"])
+        index.search((1,))
+        index.search((2,))
+        assert index.probe_count == 2
+
+
+class TestOrderedIndex:
+    def test_range_search_in_order(self):
+        index = OrderedIndex("ox", SCHEMA, ["oid"])
+        for i in (5, 1, 3, 2, 4):
+            index.insert((i, 0, 0.0), rid(i))
+        keys = [key for key, _ in index.range_search((2,), (4,))]
+        assert keys == [(2,), (3,), (4,)]
+
+    def test_open_ended_ranges(self):
+        index = OrderedIndex("ox", SCHEMA, ["oid"])
+        for i in range(5):
+            index.insert((i, 0, 0.0), rid(i))
+        assert len(list(index.range_search(low=(3,)))) == 2
+        assert len(list(index.range_search(high=(1,)))) == 2
+        assert index.min_key() == (0,)
+        assert index.max_key() == (4,)
+
+    def test_delete_removes_key_when_empty(self):
+        index = OrderedIndex("ox", SCHEMA, ["oid"])
+        index.insert((1, 0, 0.0), rid(0))
+        index.delete((1, 0, 0.0), rid(0))
+        assert index.ordered_keys() == []
+
+    def test_build_index_factory(self):
+        assert isinstance(build_index("hash", "a", SCHEMA, ["oid"]), HashIndex)
+        assert isinstance(build_index("ordered", "b", SCHEMA, ["oid"]), OrderedIndex)
+        with pytest.raises(CatalogError):
+            build_index("btree", "c", SCHEMA, ["oid"])
+
+    def test_index_requires_key_columns(self):
+        with pytest.raises(CatalogError):
+            HashIndex("bad", SCHEMA, [])
+
+
+class TestTable:
+    def make_table(self):
+        db = Database(buffer_pool_pages=32)
+        return db.create_table(
+            "CRAWL",
+            make_schema(
+                ("oid", INTEGER, False),
+                ("url", TEXT),
+                ("relevance", FLOAT),
+                primary_key=["oid"],
+            ),
+        )
+
+    def test_insert_and_get_by_key(self):
+        table = self.make_table()
+        table.insert({"oid": 1, "url": "http://a", "relevance": 0.3})
+        assert table.get_by_key((1,)) == (1, "http://a", 0.3)
+        assert table.get_by_key((2,)) is None
+
+    def test_duplicate_primary_key_rejected(self):
+        table = self.make_table()
+        table.insert({"oid": 1, "url": "a"})
+        with pytest.raises(ConstraintError):
+            table.insert({"oid": 1, "url": "b"})
+
+    def test_null_primary_key_rejected(self):
+        # Even when the schema column itself is nullable, the primary-key
+        # constraint must refuse NULL key values.
+        db = Database()
+        table = db.create_table(
+            "T",
+            make_schema(("oid", INTEGER, True), ("url", TEXT), primary_key=["oid"]),
+        )
+        with pytest.raises(ConstraintError):
+            table.insert({"oid": None, "url": "a"})
+
+    def test_secondary_index_backfilled_and_maintained(self):
+        table = self.make_table()
+        for i in range(10):
+            table.insert({"oid": i, "url": f"u{i}", "relevance": i / 10})
+        index = table.create_index("by_url", ["url"])
+        assert len(index) == 10
+        assert table.lookup("by_url", ("u3",)) == [(3, "u3", 0.3)]
+        rid_, _ = next(table.scan())
+        table.update_row(rid_, {"url": "changed"})
+        assert table.lookup("by_url", ("changed",)) != []
+
+    def test_duplicate_index_name_rejected(self):
+        table = self.make_table()
+        table.create_index("ix", ["url"])
+        with pytest.raises(CatalogError):
+            table.create_index("ix", ["url"])
+        table.drop_index("ix")
+        with pytest.raises(CatalogError):
+            table.drop_index("ix")
+
+    def test_update_where_and_delete_where(self):
+        table = self.make_table()
+        for i in range(10):
+            table.insert({"oid": i, "url": f"u{i}", "relevance": i / 10})
+        touched = table.update_where(col("relevance") > lit(0.7), {"relevance": 1.0})
+        assert touched == 2
+        deleted = table.delete_where(col("relevance") == lit(1.0))
+        assert deleted == 2
+        assert len(table) == 8
+
+    def test_update_preserving_pk_and_changing_pk(self):
+        table = self.make_table()
+        rid_ = table.insert({"oid": 1, "url": "a"})
+        table.update_row(rid_, {"url": "b"})
+        table.insert({"oid": 2, "url": "c"})
+        with pytest.raises(ConstraintError):
+            table.update_row(rid_, {"oid": 2})
+
+    def test_truncate_resets_indexes(self):
+        table = self.make_table()
+        table.create_index("by_url", ["url"])
+        table.insert({"oid": 1, "url": "a"})
+        table.truncate()
+        assert len(table) == 0
+        assert table.lookup("by_url", ("a",)) == []
+
+    def test_lookup_without_primary_key_raises(self):
+        db = Database()
+        table = db.create_table("NOPK", make_schema(("a", INTEGER)))
+        with pytest.raises(QueryError):
+            table.get_by_key((1,))
+
+    def test_rows_as_dicts(self):
+        table = self.make_table()
+        table.insert({"oid": 1, "url": "a", "relevance": 0.5})
+        assert list(table.rows_as_dicts()) == [{"oid": 1, "url": "a", "relevance": 0.5}]
+
+    def test_index_on_exact_columns(self):
+        table = self.make_table()
+        table.create_index("by_url", ["url"])
+        assert table.index_on(("url",)) is not None
+        assert table.index_on(("oid",)) is not None  # primary key
+        assert table.index_on(("relevance",)) is None
+
+
+class TestDatabaseCatalog:
+    def test_create_drop_and_missing_table(self):
+        db = Database()
+        db.create_table("T", make_schema(("a", INTEGER)))
+        assert db.has_table("T")
+        assert db.table_names() == ["T"]
+        with pytest.raises(CatalogError):
+            db.create_table("T", make_schema(("a", INTEGER)))
+        db.drop_table("T")
+        with pytest.raises(CatalogError):
+            db.table("T")
+
+    def test_io_snapshot_and_total_pages(self):
+        db = Database(buffer_pool_pages=16)
+        table = db.create_table("T", make_schema(("a", INTEGER), ("b", TEXT)))
+        for i in range(200):
+            table.insert({"a": i, "b": "x" * 30})
+        snapshot = db.io_snapshot()
+        assert snapshot["logical_reads"] > 0
+        assert db.total_pages() == table.page_count > 0

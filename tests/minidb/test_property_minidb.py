@@ -1,0 +1,121 @@
+"""Property-based tests for the minidb engine (hypothesis)."""
+
+from collections import Counter, defaultdict
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.minidb import Database, FLOAT, INTEGER, TEXT, col, make_schema
+from repro.minidb.operators import (
+    Aggregate,
+    GroupByAggregate,
+    HashJoin,
+    NestedLoopJoin,
+    RowSource,
+    SortMergeJoin,
+)
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 30), st.floats(0, 1, allow_nan=False), st.text(max_size=6)),
+    max_size=60,
+)
+
+pairs_strategy = st.lists(st.tuples(st.integers(0, 10), st.integers(0, 10)), max_size=40)
+
+
+class TestTableProperties:
+    @given(rows=rows_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_inserted_rows_round_trip_through_heap(self, rows):
+        db = Database(buffer_pool_pages=8)
+        table = db.create_table(
+            "T", make_schema(("k", INTEGER, False), ("v", FLOAT), ("s", TEXT))
+        )
+        table.insert_many({"k": k, "v": v, "s": s} for k, v, s in rows)
+        fetched = sorted((r["k"], r["v"], r["s"]) for r in table.rows_as_dicts())
+        assert fetched == sorted(rows)
+        assert len(table) == len(rows)
+
+    @given(rows=rows_strategy, threshold=st.floats(0, 1))
+    @settings(max_examples=30, deadline=None)
+    def test_delete_where_equals_python_filter(self, rows, threshold):
+        db = Database(buffer_pool_pages=8)
+        table = db.create_table("T", make_schema(("k", INTEGER), ("v", FLOAT)))
+        table.insert_many({"k": k, "v": v} for k, v, _ in rows)
+        from repro.minidb import lit
+
+        deleted = table.delete_where(col("v") > lit(threshold))
+        expected_remaining = [(k, v) for k, v, _ in rows if not v > threshold]
+        assert deleted == len(rows) - len(expected_remaining)
+        assert sorted((r["k"], r["v"]) for r in table.rows_as_dicts()) == sorted(
+            expected_remaining
+        )
+
+
+class TestJoinProperties:
+    @given(left=pairs_strategy, right=pairs_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_all_join_algorithms_agree(self, left, right):
+        left_rows = [{"lk": a, "lv": b} for a, b in left]
+        right_rows = [{"rk": a, "rv": b} for a, b in right]
+
+        def run(cls):
+            result = cls(
+                RowSource(list(left_rows)),
+                RowSource(list(right_rows)),
+                [col("lk")],
+                [col("rk")],
+            ).to_list()
+            return Counter((r["lk"], r["lv"], r["rk"], r["rv"]) for r in result)
+
+        hash_result = run(HashJoin)
+        merge_result = run(SortMergeJoin)
+        nested = NestedLoopJoin(
+            RowSource(list(left_rows)),
+            RowSource(list(right_rows)),
+            col("lk") == col("rk"),
+        ).to_list()
+        nested_result = Counter((r["lk"], r["lv"], r["rk"], r["rv"]) for r in nested)
+        assert hash_result == merge_result == nested_result
+
+    @given(rows=pairs_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_group_by_sum_matches_python(self, rows):
+        source = [{"k": a, "v": b} for a, b in rows]
+        plan = GroupByAggregate(
+            RowSource(source),
+            [("k", col("k"))],
+            [Aggregate("sum", col("v"), "total"), Aggregate("count", None, "n")],
+        )
+        result = {r["k"]: (r["total"], r["n"]) for r in plan.to_list()}
+        expected = defaultdict(lambda: [0, 0])
+        for a, b in rows:
+            expected[a][0] += b
+            expected[a][1] += 1
+        assert set(result) == set(expected)
+        for key, (total, count) in result.items():
+            assert count == expected[key][1]
+            assert total == pytest.approx(expected[key][0])
+
+
+class TestSQLProperties:
+    @given(rows=st.lists(st.integers(-100, 100), min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_sql_aggregates_match_python(self, rows):
+        db = Database()
+        table = db.create_table("T", make_schema(("v", INTEGER)))
+        table.insert_many({"v": v} for v in rows)
+        result = db.sql("select count(*) n, sum(v) s, min(v) lo, max(v) hi from T")[0]
+        assert result["n"] == len(rows)
+        assert result["s"] == sum(rows)
+        assert result["lo"] == min(rows)
+        assert result["hi"] == max(rows)
+
+    @given(rows=st.lists(st.integers(0, 20), max_size=50), cutoff=st.integers(0, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_sql_where_matches_python_filter(self, rows, cutoff):
+        db = Database()
+        table = db.create_table("T", make_schema(("v", INTEGER)))
+        table.insert_many({"v": v} for v in rows)
+        result = db.sql("select v from T where v >= :cut order by v", {"cut": cutoff})
+        assert [r["v"] for r in result] == sorted(v for v in rows if v >= cutoff)

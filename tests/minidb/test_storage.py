@@ -1,0 +1,108 @@
+"""Unit tests for slotted pages, heap files, and record ids."""
+
+import pytest
+
+from repro.minidb import INTEGER, TEXT, StorageError, make_schema
+from repro.minidb.buffer_pool import BufferPool
+from repro.minidb.pages import Page, PageId, RecordId
+from repro.minidb.storage import HeapFile
+
+
+def make_heap(page_size=512, pool_pages=8):
+    schema = make_schema(("k", INTEGER, False), ("payload", TEXT))
+    pool = BufferPool(pool_pages)
+    return HeapFile(file_id=0, schema=schema, buffer_pool=pool, page_size=page_size), schema, pool
+
+
+class TestPage:
+    def test_insert_read_update_delete(self):
+        page = Page(PageId(0, 0), capacity=256)
+        slot = page.insert((1, "a"), 16)
+        assert page.read(slot) == (1, "a")
+        page.update(slot, (1, "b"), old_size=16, new_size=16)
+        assert page.read(slot) == (1, "b")
+        page.delete(slot, 16)
+        with pytest.raises(StorageError):
+            page.read(slot)
+
+    def test_fits_respects_capacity(self):
+        page = Page(PageId(0, 0), capacity=64)
+        assert page.fits(8)
+        assert not page.fits(1000)
+        with pytest.raises(StorageError):
+            page.insert((1,), 1000)
+
+    def test_deleted_slot_is_reused(self):
+        page = Page(PageId(0, 0), capacity=4096)
+        first = page.insert((1,), 8)
+        page.insert((2,), 8)
+        page.delete(first, 8)
+        reused = page.insert((3,), 8)
+        assert reused == first
+        assert page.live_count() == 2
+
+    def test_out_of_range_slot(self):
+        page = Page(PageId(0, 0))
+        with pytest.raises(StorageError):
+            page.read(5)
+
+
+class TestHeapFile:
+    def test_insert_and_read(self):
+        heap, schema, _ = make_heap()
+        rid = heap.insert(schema.validate_row((1, "hello")))
+        assert heap.read(rid) == (1, "hello")
+        assert heap.row_count == 1
+
+    def test_rows_spill_to_new_pages(self):
+        heap, schema, _ = make_heap(page_size=256)
+        for i in range(50):
+            heap.insert(schema.validate_row((i, "x" * 20)))
+        assert heap.page_count > 1
+        assert heap.row_count == 50
+        assert sorted(row[0] for row in heap.scan_rows()) == list(range(50))
+
+    def test_update_and_delete(self):
+        heap, schema, _ = make_heap()
+        rid = heap.insert(schema.validate_row((1, "a")))
+        heap.update(rid, schema.validate_row((1, "bb")))
+        assert heap.read(rid) == (1, "bb")
+        deleted = heap.delete(rid)
+        assert deleted == (1, "bb")
+        assert heap.row_count == 0
+        with pytest.raises(StorageError):
+            heap.read(rid)
+
+    def test_rid_stability_across_other_deletes(self):
+        heap, schema, _ = make_heap()
+        rids = [heap.insert(schema.validate_row((i, "p"))) for i in range(10)]
+        heap.delete(rids[0])
+        heap.delete(rids[5])
+        assert heap.read(rids[7]) == (7, "p")
+
+    def test_foreign_rid_rejected(self):
+        heap, schema, _ = make_heap()
+        heap.insert(schema.validate_row((1, "a")))
+        foreign = RecordId(PageId(file_id=99, page_no=0), 0)
+        with pytest.raises(StorageError):
+            heap.read(foreign)
+
+    def test_oversized_row_rejected(self):
+        heap, schema, _ = make_heap(page_size=128)
+        with pytest.raises(StorageError):
+            heap.insert(schema.validate_row((1, "y" * 500)))
+
+    def test_truncate_clears_everything(self):
+        heap, schema, _ = make_heap()
+        for i in range(20):
+            heap.insert(schema.validate_row((i, "z")))
+        heap.truncate()
+        assert heap.row_count == 0
+        assert heap.page_count == 0
+        assert list(heap.scan()) == []
+
+    def test_scan_yields_rid_row_pairs(self):
+        heap, schema, _ = make_heap()
+        rid = heap.insert(schema.validate_row((3, "q")))
+        pairs = list(heap.scan())
+        assert pairs == [(rid, (3, "q"))]

@@ -1,0 +1,89 @@
+"""Tests for statement triggers."""
+
+import pytest
+
+from repro.minidb import CatalogError, Database, FLOAT, INTEGER, make_schema
+from repro.minidb.triggers import Trigger
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table(
+        "CRAWL",
+        make_schema(("oid", INTEGER, False), ("relevance", FLOAT), primary_key=["oid"]),
+    )
+    return database
+
+
+class TestTriggers:
+    def test_trigger_fires_on_insert(self, db):
+        events = []
+        db.create_trigger("t", "CRAWL", lambda e, t, rows: events.append((e, len(rows))))
+        db.table("CRAWL").insert({"oid": 1, "relevance": 0.5})
+        assert events == [("insert", 1)]
+
+    def test_trigger_event_filtering(self, db):
+        events = []
+        db.create_trigger("t", "CRAWL", lambda e, t, rows: events.append(e), events=("delete",))
+        table = db.table("CRAWL")
+        table.insert({"oid": 1, "relevance": 0.5})
+        table.delete_where(None)
+        assert events == ["delete"]
+
+    def test_trigger_batching_every_n_rows(self, db):
+        fired = []
+        db.create_trigger(
+            "batch", "CRAWL", lambda e, t, rows: fired.append(e), every_n_rows=10
+        )
+        table = db.table("CRAWL")
+        for i in range(25):
+            table.insert({"oid": i, "relevance": 0.1})
+        assert len(fired) == 2  # fires after 10 and 20 rows, not after every insert
+
+    def test_bulk_insert_counts_as_row_batch(self, db):
+        fired = []
+        db.create_trigger("bulk", "CRAWL", lambda e, t, rows: fired.append(len(rows)), every_n_rows=5)
+        db.table("CRAWL").insert_many({"oid": i, "relevance": 0.1} for i in range(7))
+        assert fired == [7]
+
+    def test_disabled_trigger_does_not_fire(self, db):
+        fired = []
+        trigger = db.create_trigger("t", "CRAWL", lambda e, t, rows: fired.append(e))
+        trigger.enabled = False
+        db.table("CRAWL").insert({"oid": 1, "relevance": 0.5})
+        assert fired == []
+        assert trigger.fire_count == 0
+
+    def test_duplicate_and_missing_trigger_names(self, db):
+        db.create_trigger("t", "CRAWL", lambda e, t, rows: None)
+        with pytest.raises(CatalogError):
+            db.create_trigger("t", "CRAWL", lambda e, t, rows: None)
+        db.drop_trigger("t")
+        with pytest.raises(CatalogError):
+            db.drop_trigger("t")
+
+    def test_trigger_on_unknown_table_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.create_trigger("t", "NOPE", lambda e, t, rows: None)
+
+    def test_invalid_trigger_configuration(self):
+        with pytest.raises(CatalogError):
+            Trigger("bad", "CRAWL", lambda e, t, rows: None, events=("upsert",))
+        with pytest.raises(CatalogError):
+            Trigger("bad", "CRAWL", lambda e, t, rows: None, every_n_rows=0)
+
+    def test_update_statement_fires_trigger(self, db):
+        fired = []
+        db.create_trigger("t", "CRAWL", lambda e, t, rows: fired.append(e), events=("update",))
+        table = db.table("CRAWL")
+        table.insert({"oid": 1, "relevance": 0.5})
+        db.sql("update CRAWL set relevance = 0.9 where oid = 1")
+        assert "update" in fired
+
+    def test_registry_lookup_and_listing(self, db):
+        db.create_trigger("a", "CRAWL", lambda e, t, rows: None)
+        db.create_trigger("b", "CRAWL", lambda e, t, rows: None)
+        assert db.triggers.names() == ["a", "b"]
+        assert db.triggers.get("a").table_name == "CRAWL"
+        assert len(db.triggers.for_table("CRAWL")) == 2

@@ -1,0 +1,116 @@
+"""Unit tests for minidb column types, schemas, and row handling."""
+
+import pytest
+
+from repro.minidb import BLOB, FLOAT, INTEGER, TEXT, Column, Schema, SchemaError, make_schema
+from repro.minidb.types import ColumnType
+
+
+class TestColumnType:
+    def test_integer_accepts_int(self):
+        assert INTEGER.validate(42) == 42
+
+    def test_integer_accepts_integral_float(self):
+        assert INTEGER.validate(3.0) == 3
+
+    def test_integer_rejects_fractional_float(self):
+        with pytest.raises(SchemaError):
+            INTEGER.validate(3.5)
+
+    def test_integer_rejects_string(self):
+        with pytest.raises(SchemaError):
+            INTEGER.validate("7")
+
+    def test_integer_coerces_bool(self):
+        assert INTEGER.validate(True) == 1
+
+    def test_float_accepts_int_and_float(self):
+        assert FLOAT.validate(2) == 2.0
+        assert FLOAT.validate(2.5) == 2.5
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            FLOAT.validate(True)
+
+    def test_text_accepts_str_only(self):
+        assert TEXT.validate("abc") == "abc"
+        with pytest.raises(SchemaError):
+            TEXT.validate(123)
+
+    def test_blob_accepts_bytes(self):
+        assert BLOB.validate(b"\x00\x01") == b"\x00\x01"
+        assert BLOB.validate(bytearray(b"xy")) == b"xy"
+        with pytest.raises(SchemaError):
+            BLOB.validate("not bytes")
+
+    def test_none_passes_through(self):
+        for column_type in ColumnType:
+            assert column_type.validate(None) is None
+
+    def test_storage_size_scales_with_text_length(self):
+        assert TEXT.storage_size("abcd") > TEXT.storage_size("a")
+        assert INTEGER.storage_size(1) == 8
+
+
+class TestColumn:
+    def test_not_null_enforced(self):
+        column = Column("oid", INTEGER, nullable=False)
+        with pytest.raises(SchemaError):
+            column.validate(None)
+
+    def test_nullable_allows_none(self):
+        assert Column("score", FLOAT).validate(None) is None
+
+
+class TestSchema:
+    def setup_method(self):
+        self.schema = make_schema(
+            ("oid", INTEGER, False),
+            ("url", TEXT),
+            ("relevance", FLOAT),
+            primary_key=["oid"],
+        )
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Column("a", INTEGER), Column("a", TEXT)])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            make_schema(("a", INTEGER), primary_key=["missing"])
+
+    def test_positions_and_membership(self):
+        assert self.schema.position("url") == 1
+        assert "relevance" in self.schema
+        assert "nope" not in self.schema
+        with pytest.raises(SchemaError):
+            self.schema.position("nope")
+
+    def test_validate_row_checks_arity(self):
+        with pytest.raises(SchemaError):
+            self.schema.validate_row((1, "x"))
+
+    def test_row_from_mapping_fills_missing_with_null(self):
+        row = self.schema.row_from_mapping({"oid": 5, "url": "http://a"})
+        assert row == (5, "http://a", None)
+
+    def test_row_from_mapping_rejects_unknown_columns(self):
+        with pytest.raises(SchemaError):
+            self.schema.row_from_mapping({"oid": 5, "bogus": 1})
+
+    def test_row_round_trip(self):
+        row = self.schema.row_from_mapping({"oid": 9, "url": "u", "relevance": 0.5})
+        assert self.schema.row_to_mapping(row) == {"oid": 9, "url": "u", "relevance": 0.5}
+
+    def test_key_of_extracts_primary_key(self):
+        row = self.schema.validate_row((7, "u", 0.1))
+        assert self.schema.key_of(row) == (7,)
+
+    def test_row_size_positive_and_monotone(self):
+        short = self.schema.validate_row((1, "a", 0.1))
+        long = self.schema.validate_row((1, "a" * 100, 0.1))
+        assert 0 < self.schema.row_size(short) < self.schema.row_size(long)
+
+    def test_bad_column_spec_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema(("just_one_element",))

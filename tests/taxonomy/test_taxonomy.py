@@ -1,0 +1,143 @@
+"""Tests for the topic taxonomy (class tree, marking) and example stores."""
+
+import pytest
+
+from repro.taxonomy.examples import ExampleDocument, ExampleStore, examples_from_documents, generate_examples
+from repro.taxonomy.tree import ROOT_CID, NodeMark, TopicTaxonomy
+from repro.webgraph.topics import build_tree, default_topic_tree
+
+
+@pytest.fixture()
+def taxonomy():
+    return TopicTaxonomy.from_topic_tree(default_topic_tree())
+
+
+class TestTaxonomyConstruction:
+    def test_root_has_cid_one_and_empty_path(self, taxonomy):
+        assert taxonomy.root.cid == ROOT_CID
+        assert taxonomy.root.path == ""
+        assert taxonomy.node(ROOT_CID) is taxonomy.root
+
+    def test_cids_are_unique_and_parents_come_first(self, taxonomy):
+        cids = [node.cid for node in taxonomy.nodes()]
+        assert len(set(cids)) == len(cids)
+        for node in taxonomy.nodes():
+            if node.parent is not None:
+                assert node.parent.cid < node.cid
+
+    def test_lookup_by_path(self, taxonomy):
+        node = taxonomy.by_path("recreation/cycling")
+        assert node.name == "cycling" and node.is_leaf
+        assert "recreation/cycling" in taxonomy
+        with pytest.raises(KeyError):
+            taxonomy.by_path("no/such")
+        with pytest.raises(KeyError):
+            taxonomy.node(9999)
+
+    def test_leaves_and_internal_nodes_partition(self, taxonomy):
+        leaves = set(n.cid for n in taxonomy.leaves())
+        internal = set(n.cid for n in taxonomy.internal_nodes())
+        assert leaves.isdisjoint(internal)
+        assert leaves | internal == {n.cid for n in taxonomy.nodes()}
+
+    def test_from_spec(self):
+        taxonomy = TopicTaxonomy.from_spec({"a": {"b": {}}})
+        assert taxonomy.by_path("a/b").is_leaf
+
+
+class TestMarking:
+    def test_mark_good_sets_path_and_subsumed(self, taxonomy):
+        taxonomy.mark_good(["recreation/cycling"])
+        assert taxonomy.by_path("recreation/cycling").mark is NodeMark.GOOD
+        assert taxonomy.by_path("recreation").mark is NodeMark.PATH
+        assert taxonomy.by_path("arts").mark is NodeMark.NULL
+        assert taxonomy.good_paths() == ["recreation/cycling"]
+
+    def test_internal_good_topic_subsumes_children(self, taxonomy):
+        taxonomy.mark_good(["business/investment"])
+        assert taxonomy.by_path("business/investment/mutual_funds").mark is NodeMark.SUBSUMED
+        assert taxonomy.is_good_or_subsumed(
+            taxonomy.by_path("business/investment/stocks").cid
+        )
+
+    def test_nested_good_topics_rejected(self, taxonomy):
+        with pytest.raises(ValueError):
+            taxonomy.mark_good(["business/investment", "business/investment/stocks"])
+
+    def test_remarking_clears_previous_marks(self, taxonomy):
+        taxonomy.mark_good(["recreation/cycling"])
+        taxonomy.mark_good(["health/hiv_aids"])
+        assert taxonomy.by_path("recreation/cycling").mark is NodeMark.NULL
+        assert taxonomy.by_path("health").mark is NodeMark.PATH
+
+    def test_add_good_is_the_stagnation_fix(self, taxonomy):
+        taxonomy.mark_good(["business/investment/mutual_funds"])
+        taxonomy.add_good("business/investment")
+        marks = {n.path: n.mark for n in taxonomy.nodes()}
+        assert marks["business/investment"] is NodeMark.GOOD
+        assert marks["business/investment/mutual_funds"] is NodeMark.SUBSUMED
+        assert marks["business"] is NodeMark.PATH
+
+    def test_good_ancestor_of(self, taxonomy):
+        taxonomy.mark_good(["recreation"])
+        cycling = taxonomy.by_path("recreation/cycling")
+        assert taxonomy.good_ancestor_of(cycling.cid).path == "recreation"
+        arts = taxonomy.by_path("arts/music")
+        assert taxonomy.good_ancestor_of(arts.cid) is None
+
+    def test_evaluation_frontier_is_root_plus_path_internal_nodes(self, taxonomy):
+        taxonomy.mark_good(["business/investment/mutual_funds"])
+        frontier = taxonomy.evaluation_frontier()
+        paths = [n.path for n in frontier]
+        assert paths == ["", "business", "business/investment"]
+
+    def test_mark_good_multiple_topics(self, taxonomy):
+        taxonomy.mark_good(["recreation/cycling", "health/first_aid"])
+        assert len(taxonomy.good_nodes()) == 2
+        assert taxonomy.by_path("health").mark is NodeMark.PATH
+        assert taxonomy.by_path("recreation").mark is NodeMark.PATH
+
+    def test_16_bit_cid_limit(self):
+        # A pathological spec with too many nodes must be refused, not wrap around.
+        wide_spec = {f"t{i}": {} for i in range(300)}
+        spec = {f"g{j}": dict(wide_spec) for j in range(250)}
+        with pytest.raises(ValueError):
+            TopicTaxonomy.from_spec(spec)
+
+
+class TestExamples:
+    def test_generate_examples_per_leaf(self, taxonomy, small_web):
+        store = generate_examples(taxonomy, small_web, per_leaf=5, seed=3)
+        leaves_with_vocab = [
+            leaf for leaf in taxonomy.leaves() if leaf.path in small_web.vocabulary.topic_terms
+        ]
+        assert store.total() == 5 * len(leaves_with_vocab)
+        cycling = taxonomy.by_path("recreation/cycling")
+        assert len(store.for_class(cycling.cid)) == 5
+
+    def test_for_subtree_aggregates_children(self, taxonomy, small_web):
+        store = generate_examples(taxonomy, small_web, per_leaf=4, seed=3)
+        recreation = taxonomy.by_path("recreation")
+        subtree_docs = store.for_subtree(taxonomy, recreation.cid)
+        assert len(subtree_docs) == 4 * len(recreation.children)
+
+    def test_restricting_leaf_paths(self, taxonomy, small_web):
+        store = generate_examples(
+            taxonomy, small_web, per_leaf=3, leaf_paths=["recreation/cycling"]
+        )
+        assert store.total() == 3
+
+    def test_examples_from_documents(self, taxonomy):
+        store = examples_from_documents(
+            taxonomy,
+            [("recreation/cycling", ["a", "b", "a"]), ("arts/music", ["c"])],
+        )
+        cid = taxonomy.by_path("recreation/cycling").cid
+        assert store.for_class(cid)[0].term_frequencies() == {"a": 2, "b": 1}
+        assert store.classes() == sorted(
+            [cid, taxonomy.by_path("arts/music").cid]
+        )
+
+    def test_example_document_term_frequencies(self):
+        doc = ExampleDocument(cid=5, tokens=["x", "x", "y"])
+        assert doc.term_frequencies() == {"x": 2, "y": 1}

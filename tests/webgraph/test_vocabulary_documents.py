@@ -1,0 +1,124 @@
+"""Tests for the synthetic vocabulary and the multinomial document generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.webgraph.documents import DocumentGenerator
+from repro.webgraph.vocabulary import (
+    TermDistribution,
+    Vocabulary,
+    term_id,
+    zipf_probabilities,
+)
+
+
+class TestTermId:
+    def test_stable_and_32_bit(self):
+        assert term_id("cycling") == term_id("cycling")
+        assert 0 <= term_id("cycling") < 2**32
+        assert term_id("cycling") != term_id("gardening")
+
+    @given(st.text(min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_range_property(self, term):
+        assert 0 <= term_id(term) < 2**32
+
+
+class TestTermDistribution:
+    def test_probabilities_normalised(self):
+        dist = TermDistribution(np.array(["a", "b"], dtype=object), np.array([2.0, 2.0]))
+        assert dist.probabilities.sum() == pytest.approx(1.0)
+        assert dist.probability_of("a") == pytest.approx(0.5)
+        assert dist.probability_of("zzz") == 0.0
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ValueError):
+            TermDistribution(np.array(["a"], dtype=object), np.array([0.0]))
+
+    def test_sampling_respects_support(self):
+        dist = TermDistribution(np.array(["x", "y"], dtype=object), np.array([0.9, 0.1]))
+        samples = dist.sample(np.random.default_rng(0), 200)
+        assert set(samples) <= {"x", "y"}
+        assert samples.count("x") > samples.count("y")
+
+    def test_mixture_weights(self):
+        a = TermDistribution(np.array(["a"], dtype=object), np.array([1.0]))
+        b = TermDistribution(np.array(["b"], dtype=object), np.array([1.0]))
+        mixture = TermDistribution.mixture([a, b], [0.75, 0.25])
+        assert mixture.probability_of("a") == pytest.approx(0.75)
+        with pytest.raises(ValueError):
+            TermDistribution.mixture([])
+        with pytest.raises(ValueError):
+            TermDistribution.mixture([a, b], [1.0])
+
+    def test_top_terms(self):
+        dist = TermDistribution(
+            np.array(["a", "b", "c"], dtype=object), np.array([0.2, 0.5, 0.3])
+        )
+        assert dist.top_terms(2) == ["b", "c"]
+
+    def test_zipf_probabilities_decreasing(self):
+        probs = zipf_probabilities(20)
+        assert probs.sum() == pytest.approx(1.0)
+        assert all(probs[i] >= probs[i + 1] for i in range(19))
+
+
+class TestVocabulary:
+    def setup_method(self):
+        self.vocab = Vocabulary.build(["rec/cycling", "rec/running"], background_size=50, terms_per_topic=20)
+
+    def test_topic_blocks_are_disjoint_from_background(self):
+        cycling_terms = set(self.vocab.topic_terms["rec/cycling"])
+        assert cycling_terms.isdisjoint(self.vocab.background_terms)
+        assert len(cycling_terms) == 20
+
+    def test_leaf_distribution_mixes_topic_and_background(self):
+        dist = self.vocab.leaf_distribution("rec/cycling")
+        assert dist.probability_of("rec_cycling_t000") > 0
+        assert dist.probability_of(self.vocab.background_terms[0]) > 0
+        with pytest.raises(KeyError):
+            self.vocab.leaf_distribution("unknown/topic")
+
+    def test_blended_distribution(self):
+        blend = self.vocab.blended_distribution({"rec/cycling": 0.5, "rec/running": 0.5})
+        assert blend.probability_of("rec_cycling_t000") > 0
+        assert blend.probability_of("rec_running_t000") > 0
+
+    def test_all_terms_and_paths(self):
+        assert len(self.vocab.all_terms()) == 50 + 40
+        assert self.vocab.topic_paths() == ["rec/cycling", "rec/running"]
+
+
+class TestDocumentGenerator:
+    def setup_method(self):
+        vocab = Vocabulary.build(["a/b"], background_size=40, terms_per_topic=15)
+        self.generator = DocumentGenerator(vocab, mean_length=50, rng=np.random.default_rng(3))
+
+    def test_generated_document_has_topic_terms(self):
+        doc = self.generator.generate("a/b")
+        assert doc.topic_path == "a/b"
+        assert doc.length >= 30
+        assert any(t.startswith("a_b_t") for t in doc.tokens)
+
+    def test_fixed_length(self):
+        doc = self.generator.generate("a/b", length=77)
+        assert doc.length == 77
+
+    def test_background_document_has_no_topic_terms(self):
+        doc = self.generator.generate_background()
+        assert doc.topic_path == ""
+        assert not any(t.startswith("a_b_t") for t in doc.tokens)
+
+    def test_examples_are_independent_draws(self):
+        docs = self.generator.generate_examples("a/b", 5)
+        assert len(docs) == 5
+        assert len({tuple(d.tokens) for d in docs}) > 1
+
+    def test_term_frequencies_sum_to_length(self):
+        doc = self.generator.generate("a/b", length=64)
+        assert sum(doc.term_frequencies().values()) == 64
+
+    def test_mixture_document_keeps_primary_label(self):
+        doc = self.generator.generate_mixture({"a/b": 1.0}, primary_topic="a/b", background_weight=1.0)
+        assert doc.topic_path == "a/b"
