@@ -15,7 +15,6 @@ import pytest
 from repro.crawler.focused import CrawlerConfig
 from repro.crawler.policies import aggressive_discovery, breadth_first, relevance_only
 from repro.distiller.hits import weighted_hits
-from repro.distiller.weights import Link
 
 CRAWL_PAGES = 400
 

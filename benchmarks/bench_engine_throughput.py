@@ -1,0 +1,186 @@
+"""Engine throughput benchmark: serial reference loop vs. batched pipeline.
+
+This is the repository's scaling benchmark (the start of the BENCH
+trajectory): it crawls the same synthetic workload with the reference
+serial engine and with the batched engine (``batch_size=8``,
+``fetch_workers=8``) and reports pages/sec for both.  The batched engine
+is expected to sustain at least 3x the serial throughput at full scale,
+while a ``batch_size=1`` run reproduces the serial crawl bit for bit
+(``tests/crawler/test_engine.py`` enforces the equivalence).
+
+Run standalone (CI smoke job)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --quick
+
+or under pytest (full scale)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_throughput.py
+
+Either way the results land in ``BENCH_engine.json`` with a stable
+schema (git sha, config, pages/sec per mode) so CI artifacts are
+comparable across PRs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.crawler.engine import CrawlerConfig
+from repro.experiments.workloads import build_crawl_workload
+
+#: Full-scale defaults (the acceptance configuration).
+FULL = {"scale": 0.6, "pages": 1400, "distill_every": 100, "seed": 7}
+#: Quick-smoke defaults (CI pull-request gate; small enough for seconds).
+QUICK = {"scale": 0.3, "pages": 300, "distill_every": 100, "seed": 7}
+
+#: The batched configuration of the acceptance criterion.
+BATCH_SIZE = 8
+FETCH_WORKERS = 8
+
+
+def git_sha() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True,
+                text=True,
+                cwd=Path(__file__).parent,
+                check=True,
+            ).stdout.strip()
+        )
+    except Exception:
+        return "unknown"
+
+
+def crawl_once(system, seeds, pages: int, config: CrawlerConfig) -> dict:
+    start = time.perf_counter()
+    result = system.crawl(max_pages=pages, seeds=seeds, crawler_config=config)
+    elapsed = time.perf_counter() - start
+    fetched = result.pages_fetched()
+    return {
+        "pages": fetched,
+        "seconds": round(elapsed, 4),
+        "pages_per_sec": round(fetched / elapsed, 2) if elapsed > 0 else 0.0,
+        "harvest_rate": round(result.harvest_rate(), 4),
+    }
+
+
+def run_throughput(
+    scale: float,
+    pages: int,
+    distill_every: int,
+    seed: int,
+    batch_size: int = BATCH_SIZE,
+    fetch_workers: int = FETCH_WORKERS,
+    repeats: int = 1,
+) -> dict:
+    """Crawl serial vs. batched and return the stable-schema payload."""
+    workload = build_crawl_workload(seed=seed, scale=scale, max_pages=pages)
+    system = workload.system
+    seeds = system.default_seeds()
+
+    def best(config: CrawlerConfig) -> dict:
+        runs = [crawl_once(system, seeds, pages, config) for _ in range(repeats)]
+        return min(runs, key=lambda r: r["seconds"])
+
+    serial = best(CrawlerConfig(max_pages=pages, distill_every=distill_every))
+    batched = best(
+        CrawlerConfig(
+            max_pages=pages,
+            distill_every=distill_every,
+            engine="batched",
+            batch_size=batch_size,
+            fetch_workers=fetch_workers,
+        )
+    )
+    speedup = (
+        round(batched["pages_per_sec"] / serial["pages_per_sec"], 2)
+        if serial["pages_per_sec"]
+        else 0.0
+    )
+    return {
+        "bench": "engine_throughput",
+        "schema_version": 1,
+        "git_sha": git_sha(),
+        "config": {
+            "scale": scale,
+            "pages": pages,
+            "distill_every": distill_every,
+            "seed": seed,
+            "batch_size": batch_size,
+            "fetch_workers": fetch_workers,
+            "repeats": repeats,
+        },
+        "results": [
+            {"mode": "serial", **serial},
+            {"mode": "batched", **batched},
+        ],
+        "speedup": speedup,
+    }
+
+
+def write_payload(payload: dict, output: Path) -> None:
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+# -- pytest entry point --------------------------------------------------------------
+def test_engine_throughput(bench_recorder, pytestconfig):
+    """Full-scale serial-vs-batched comparison; records BENCH_engine.json."""
+    payload = run_throughput(**FULL, repeats=2)
+    bench_recorder(payload)
+    serial, batched = payload["results"]
+    assert serial["pages"] == batched["pages"] == FULL["pages"]
+    # Acceptance: the batched engine sustains >= 3x serial pages/sec.
+    assert payload["speedup"] >= 3.0, payload
+
+
+# -- CLI entry point ------------------------------------------------------------------
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small CI smoke configuration")
+    parser.add_argument("--scale", type=float, default=None, help="synthetic web scale factor")
+    parser.add_argument("--pages", type=int, default=None, help="crawl budget per run")
+    parser.add_argument("--distill-every", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--batch", type=int, default=BATCH_SIZE, help="batched-mode round size K")
+    parser.add_argument("--workers", type=int, default=FETCH_WORKERS, help="fetch-stage threads")
+    parser.add_argument("--repeats", type=int, default=1, help="take the best of N runs per mode")
+    parser.add_argument(
+        "--output", type=Path, default=Path("BENCH_engine.json"), help="result JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    defaults = QUICK if args.quick else FULL
+    payload = run_throughput(
+        scale=args.scale if args.scale is not None else defaults["scale"],
+        pages=args.pages if args.pages is not None else defaults["pages"],
+        distill_every=(
+            args.distill_every if args.distill_every is not None else defaults["distill_every"]
+        ),
+        seed=args.seed if args.seed is not None else defaults["seed"],
+        batch_size=args.batch,
+        fetch_workers=args.workers,
+        repeats=args.repeats,
+    )
+    write_payload(payload, args.output)
+    serial, batched = payload["results"]
+    print(
+        f"serial  : {serial['pages']} pages in {serial['seconds']}s "
+        f"({serial['pages_per_sec']} pages/sec)"
+    )
+    print(
+        f"batched : {batched['pages']} pages in {batched['seconds']}s "
+        f"({batched['pages_per_sec']} pages/sec)"
+    )
+    print(f"speedup : {payload['speedup']}x  ->  {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,6 +4,11 @@ Regenerates both panels of paper Figure 5.  The timed quantity is one
 full crawl; the harvest-rate series and averages are attached as
 ``extra_info`` and asserted to have the paper's shape (the focused
 crawler sustains its harvest rate, the unfocused baseline decays).
+
+The focused panel honours the ``--batch``/``--workers`` sweep options,
+so the batched engine's harvest can be compared against serial::
+
+    pytest benchmarks/bench_fig5_harvest.py --batch 8 --workers 8
 """
 
 import pytest
@@ -12,13 +17,17 @@ from repro.core import metrics
 
 
 @pytest.mark.benchmark(group="fig5-harvest")
-def test_fig5_focused_crawl_harvest(benchmark, crawl_workload, bench_crawl_pages):
+def test_fig5_focused_crawl_harvest(
+    benchmark, crawl_workload, bench_crawl_pages, engine_crawler_config
+):
     BENCH_CRAWL_PAGES = bench_crawl_pages
     system = crawl_workload.system
     seeds = system.default_seeds()
 
     def run_focused():
-        return system.crawl(max_pages=BENCH_CRAWL_PAGES, seeds=seeds)
+        return system.crawl(
+            max_pages=BENCH_CRAWL_PAGES, seeds=seeds, crawler_config=engine_crawler_config
+        )
 
     result = benchmark.pedantic(run_focused, rounds=1, iterations=1)
     harvest = result.harvest_rate()
@@ -27,6 +36,8 @@ def test_fig5_focused_crawl_harvest(benchmark, crawl_workload, bench_crawl_pages
     benchmark.extra_info["average_harvest_rate"] = round(harvest, 4)
     benchmark.extra_info["tail_harvest_rate"] = round(tail, 4)
     benchmark.extra_info["ground_truth_precision"] = round(result.ground_truth_precision(), 4)
+    benchmark.extra_info["batch_size"] = engine_crawler_config.batch_size
+    benchmark.extra_info["fetch_workers"] = engine_crawler_config.fetch_workers
     # Paper: "on an average, every second page is relevant" — we accept the
     # same order of magnitude at simulation scale.
     assert harvest > 0.25

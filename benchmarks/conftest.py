@@ -7,12 +7,27 @@ the crawl / classification / distillation step they correspond to and
 attach the figure's headline numbers as ``extra_info`` so the JSON
 output of ``pytest benchmarks/ --benchmark-only --benchmark-json=...``
 doubles as the experiment record.
+
+Two engine knobs are exposed as pytest options so the crawl benchmarks
+can sweep the batched pipeline::
+
+    pytest benchmarks/bench_fig5_harvest.py --batch 8 --workers 8
+
+Engine benchmark payloads registered through the ``bench_recorder``
+fixture are written to ``BENCH_engine.json`` (stable schema: git sha,
+config, pages/sec) at session end so CI artifacts are comparable across
+PRs.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
+from pathlib import Path
+
 import pytest
 
+from repro.crawler.engine import CrawlerConfig
 from repro.experiments.workloads import build_crawl_workload
 
 #: Scale factor for the benchmark web: large enough for the paper's effects,
@@ -20,6 +35,27 @@ from repro.experiments.workloads import build_crawl_workload
 BENCH_SCALE = 0.6
 BENCH_SEED = 7
 BENCH_CRAWL_PAGES = 600
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--batch",
+        type=int,
+        default=1,
+        help="crawl engine round size K for the crawl benchmarks (1 = serial)",
+    )
+    parser.addoption(
+        "--workers",
+        type=int,
+        default=1,
+        help="fetch-stage worker threads for the crawl benchmarks",
+    )
+    parser.addoption(
+        "--bench-json",
+        type=Path,
+        default=Path("BENCH_engine.json"),
+        help="where to write recorded engine benchmark payloads",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -32,3 +68,36 @@ def crawl_workload():
 def bench_crawl_pages() -> int:
     """Crawl budget used by the crawl-level benchmarks."""
     return BENCH_CRAWL_PAGES
+
+
+@pytest.fixture()
+def engine_crawler_config(request, crawl_workload, bench_crawl_pages) -> CrawlerConfig:
+    """The workload's own crawler config plus the --batch/--workers sweep."""
+    return dataclasses.replace(
+        crawl_workload.system.config.crawler,
+        max_pages=bench_crawl_pages,
+        batch_size=request.config.getoption("--batch"),
+        fetch_workers=request.config.getoption("--workers"),
+    )
+
+
+_RECORDED: list[dict] = []
+
+
+@pytest.fixture(scope="session")
+def bench_recorder():
+    """Collects engine benchmark payloads; written as BENCH_engine.json."""
+
+    def record(payload: dict) -> None:
+        _RECORDED.append(payload)
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RECORDED:
+        return
+    output = session.config.getoption("--bench-json")
+    # One payload is the common case; several (e.g. a sweep) nest under "runs".
+    payload = _RECORDED[0] if len(_RECORDED) == 1 else {"runs": _RECORDED}
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

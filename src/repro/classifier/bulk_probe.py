@@ -19,7 +19,6 @@ speed-up reported in Figure 8(a).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping, Optional
 
 from repro.minidb import Database, col, func, lit

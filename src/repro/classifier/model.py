@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Sequence
 
 from repro.taxonomy.tree import ROOT_CID, TopicTaxonomy
 
@@ -42,6 +42,11 @@ class NodeModel:
     logprior: Dict[int, float]
     logdenom: Dict[int, float]
     logtheta: Dict[tuple[int, int], float] = field(default_factory=dict)
+    #: Lazily built per-term log-likelihood vectors (one float per child),
+    #: shared across documents by the batch classification path.
+    _term_vectors: Dict[int, tuple] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     def class_conditional_loglikelihoods(self, document: TermFrequencies) -> Dict[int, float]:
         """log Pr[d | ci] up to an additive constant shared by all children.
@@ -70,6 +75,49 @@ class NodeModel:
         }
         return normalize_log_scores(scores)
 
+    # -- shared-work batch path ----------------------------------------------------
+    def _term_vector(self, tid: int) -> tuple:
+        """Per-child log θ for one feature term, cached across documents.
+
+        Entry i is ``logtheta(child_i, tid)`` when stored, else the smoothed
+        ``-logdenom(child_i)`` — the same values the reference path looks up
+        per (child, term), folded into one tuple so scoring a batch pays the
+        dictionary probes only once per distinct term.
+        """
+        vector = self._term_vectors.get(tid)
+        if vector is None:
+            logtheta = self.logtheta
+            vector = tuple(
+                logtheta[(cid, tid)] if (cid, tid) in logtheta else -self.logdenom[cid]
+                for cid in self.child_cids
+            )
+            self._term_vectors[tid] = vector
+        return vector
+
+    def conditional_posteriors_shared(self, document: TermFrequencies) -> Dict[int, float]:
+        """Bit-for-bit equal to :meth:`conditional_posteriors`, via cached vectors.
+
+        ``freq * (-logdenom)`` equals ``-(freq * logdenom)`` exactly in IEEE
+        arithmetic and the accumulation visits terms and children in the
+        same order, so the floats match the reference path bit for bit
+        (tests enforce this).
+        """
+        totals = [0.0] * len(self.child_cids)
+        feature_tids = self.feature_tids
+        vectors = self._term_vectors
+        for tid, freq in document.items():
+            vector = vectors.get(tid)
+            if vector is None:
+                if tid not in feature_tids:
+                    continue
+                vector = self._term_vector(tid)
+            totals = [total + freq * value for total, value in zip(totals, vector)]
+        scores = {
+            cid: totals[i] + self.logprior.get(cid, 0.0)
+            for i, cid in enumerate(self.child_cids)
+        }
+        return normalize_log_scores(scores)
+
 
 def normalize_log_scores(scores: Mapping[int, float]) -> Dict[int, float]:
     """Softmax-normalise a map of log scores into probabilities."""
@@ -81,6 +129,14 @@ def normalize_log_scores(scores: Mapping[int, float]) -> Dict[int, float]:
     }
     total = sum(exponentials.values())
     return {key: value / total for key, value in exponentials.items()}
+
+
+@dataclass(frozen=True)
+class BatchClassification:
+    """One document's outcome from :meth:`HierarchicalModel.classify_batch`."""
+
+    relevance: float
+    best_leaf_cid: int
 
 
 @dataclass
@@ -120,6 +176,49 @@ class HierarchicalModel:
             for child_cid, probability in conditionals.items():
                 posteriors[child_cid] = parent_probability * probability
         return posteriors
+
+    def classify_batch(
+        self, documents: Sequence[TermFrequencies]
+    ) -> list["BatchClassification"]:
+        """Score many documents in one pass, sharing per-node work.
+
+        Each document's full posterior map is computed once (the chain rule
+        of Equation 2) and both the soft-focus relevance and the best leaf
+        are read off it, instead of the two independent recursions the
+        reference accessors perform.  Per-node, per-term log-likelihood
+        vectors are cached across the whole batch (and across batches) via
+        :meth:`NodeModel._term_vector`.  Relevance and best-leaf values are
+        bit-for-bit identical to :meth:`relevance` / :meth:`best_leaf`.
+        """
+        good = self.taxonomy.good_nodes()
+        leaves = self.taxonomy.leaves()
+        internal = [
+            node
+            for node in self.taxonomy.nodes()
+            if not node.is_leaf and node.cid in self.nodes
+        ]
+        results = []
+        for document in documents:
+            posteriors: Dict[int, float] = {ROOT_CID: 1.0}
+            for node in internal:
+                parent_probability = posteriors.get(node.cid)
+                if parent_probability is None or parent_probability <= 0.0:
+                    continue
+                conditionals = self.nodes[node.cid].conditional_posteriors_shared(document)
+                for child_cid, probability in conditionals.items():
+                    posteriors[child_cid] = parent_probability * probability
+            relevance = (
+                float(sum(posteriors.get(node.cid, 0.0) for node in good)) if good else 0.0
+            )
+            best_leaf = max(leaves, key=lambda n: posteriors.get(n.cid, 0.0)).cid
+            results.append(
+                BatchClassification(relevance=relevance, best_leaf_cid=best_leaf)
+            )
+        return results
+
+    def relevance_batch(self, documents: Sequence[TermFrequencies]) -> list[float]:
+        """Soft-focus relevance for a batch of documents (see :meth:`classify_batch`)."""
+        return [outcome.relevance for outcome in self.classify_batch(documents)]
 
     def relevance(self, document: TermFrequencies) -> float:
         """Soft-focus relevance R(d) = Σ_{good c} Pr[c | d] (Equation 3)."""

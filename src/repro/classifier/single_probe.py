@@ -20,7 +20,7 @@ experiment's doc-scan / probe breakdown is measurable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Mapping, Optional
+from typing import Callable, Dict, Iterable, Optional
 
 from repro.minidb import Database
 from repro.taxonomy.tree import ROOT_CID, TopicTaxonomy

@@ -19,12 +19,11 @@ from __future__ import annotations
 import math
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.minidb import Database, FLOAT, INTEGER, TEXT, BLOB as BLOB_TYPE, make_schema
-from repro.minidb.table import Table
 from repro.taxonomy.examples import ExampleStore
-from repro.taxonomy.tree import NodeMark, TopicTaxonomy
+from repro.taxonomy.tree import TopicTaxonomy
 from repro.webgraph.vocabulary import term_id
 
 from .features import FeatureSelectionConfig, select_features

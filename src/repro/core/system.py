@@ -17,7 +17,8 @@ architecture of paper Figure 1.  Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import dataclasses
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -205,12 +206,9 @@ class FocusSystem:
         """
         if self.model is None:
             self.train()
-        config = crawler_config or CrawlerConfig(
-            max_pages=self.config.crawler.max_pages,
-            focus_mode=self.config.crawler.focus_mode,
-            distill_every=self.config.crawler.distill_every,
-            rho=self.config.crawler.rho,
-        )
+        # Copy the system-level crawler config (including the engine's
+        # batching knobs) so per-crawl overrides never mutate it.
+        config = crawler_config or dataclasses.replace(self.config.crawler)
         if max_pages is not None:
             config.max_pages = max_pages
         database = database or create_focus_database(self.config.buffer_pool_pages)
@@ -219,6 +217,9 @@ class FocusSystem:
             # paper's single-DB architecture (and so monitoring SQL can join
             # CRAWL against TAXONOMY).
             self.install_model(database)
+        # Make each crawl's transient-failure stream a deterministic function
+        # of its own seed, not of how many fetches earlier crawls performed.
+        self.web.servers.reseed(fetch_failure_seed)
         fetcher = Fetcher(self.web, failure_seed=fetch_failure_seed)
         crawler_cls = FocusedCrawler if focused else UnfocusedCrawler
         crawler = crawler_cls(fetcher, self.model, self.taxonomy, database, config)

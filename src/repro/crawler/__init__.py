@@ -1,6 +1,7 @@
-"""crawler: frontier management, the focused crawl loop, the unfocused baseline, monitoring."""
+"""crawler: frontier management, the crawl engine, the unfocused baseline, monitoring."""
 
-from .focused import CrawlerConfig, CrawlTrace, FocusedCrawler, PageVisit
+from .engine import CrawlEngine, CrawlerConfig, CrawlTrace, PageVisit
+from .focused import FocusedCrawler
 from .frontier import Frontier, FrontierEntry
 from .monitor import CrawlMonitor, StagnationReport
 from .policies import (
@@ -16,6 +17,7 @@ from .policies import (
 from .unfocused import UnfocusedCrawler
 
 __all__ = [
+    "CrawlEngine",
     "CrawlMonitor",
     "CrawlOrdering",
     "CrawlTrace",

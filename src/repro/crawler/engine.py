@@ -1,0 +1,587 @@
+"""The crawl engine: pluggable serial / batched execution of the crawl loop.
+
+The paper presents the crawler as a *system* — a classifier-guided
+frontier feeding a fetch/classify/record pipeline with a periodic HITS
+distiller (§2, §3.2, §3.7).  This module is that pipeline, factored out
+of :class:`~repro.crawler.focused.FocusedCrawler` (now a thin driver)
+into a :class:`CrawlEngine` with two interchangeable execution modes:
+
+* **serial** — the reference loop: one URL checked out, fetched,
+  classified and recorded at a time, with full-table distillation.  This
+  reproduces the seed crawler's behaviour operation for operation and is
+  the baseline every optimisation is benchmarked against.
+* **batched** — the scaled pipeline, one *round* at a time:
+
+  1. *checkout*: the top-K frontier URLs in a single heap drain
+     (:meth:`Frontier.pop_batch`), deterministic under oid tie-breaking;
+  2. *fetch*: the round's URLs go through a thread-pool fetch stage
+     (``CrawlerConfig.fetch_workers``) and come back in checkout order;
+  3. *classify*: one :meth:`HierarchicalModel.classify_batch` pass scores
+     every fetched page — relevance and best leaf from a single posterior
+     recursion, per-term work shared across the batch — behind an LRU of
+     outcomes keyed by page oid;
+  4. *record*: CRAWL and LINK writes buffer across the round and flush
+     through minidb's bulk ``insert_many`` / ``update_rows``, cutting
+     per-row page and index churn;
+  5. *distill*: when due, the incremental distiller folds only the link
+     rows recorded since the last run into cached adjacency
+     (:class:`~repro.distiller.db_distiller.IncrementalDistiller`)
+     instead of re-scanning the whole LINK table.
+
+With ``batch_size=1`` the batched mode visits pages in exactly the same
+order as the serial mode and records bit-for-bit identical relevance
+values (tests enforce this); larger K changes the interleaving but, on a
+bounded web, converges to the same crawl set.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.classifier.model import BatchClassification, HierarchicalModel
+from repro.classifier.tokenizer import TermFrequencies, term_frequencies
+from repro.distiller.db_distiller import IncrementalDistiller
+from repro.distiller.hits import DistillationResult, weighted_hits
+from repro.distiller.weights import Link
+from repro.minidb import Database
+from repro.minidb.pages import RecordId
+from repro.minidb.table import Table
+from repro.taxonomy.tree import TopicTaxonomy
+from repro.webgraph.fetch import Fetcher, FetchResult, FetchStatus
+from repro.webgraph.urls import normalize_url, server_sid, url_oid
+
+from .frontier import Frontier, FrontierEntry
+from .policies import CrawlOrdering
+
+#: Relevance assigned to a link target before anything is known about it
+#: when the crawl runs unfocused (ordering ignores it anyway).
+_UNFOCUSED_PRIORITY = 0.0
+
+#: Engine modes accepted by ``CrawlerConfig.engine``.
+ENGINE_MODES = ("auto", "serial", "batched")
+
+
+@dataclass
+class CrawlerConfig:
+    """Knobs of a crawl run."""
+
+    #: Stop after this many successful page fetches.
+    max_pages: int = 1000
+    #: Focus mode: "soft" (default), "hard", or "none" (unfocused baseline).
+    focus_mode: str = "soft"
+    #: Crawl ordering; defaults to aggressive discovery (or BFS when unfocused).
+    ordering: Optional[CrawlOrdering] = None
+    #: Run the distiller every this many successful fetches (0 disables it).
+    distill_every: int = 200
+    #: Distillation iterations per run and relevance threshold ρ.
+    distill_iterations: int = 5
+    rho: float = 0.1
+    #: After distillation, boost unvisited out-neighbours of this many top hubs.
+    hub_boost_top_k: int = 10
+    #: Boosted pages get at least this frontier priority.
+    hub_boost_priority: float = 0.5
+    #: Give up on a URL after this many failed fetch attempts.
+    max_retries: int = 2
+    #: Give up on the whole crawl after this many consecutive frontier misses.
+    stagnation_patience: int = 50
+    #: Record the best-leaf class of every visited page (topic census support).
+    record_best_leaf: bool = True
+    #: URLs checked out per engine round (the K of the batched pipeline).
+    batch_size: int = 1
+    #: Worker threads in the batched fetch stage (<= 1 fetches inline).
+    fetch_workers: int = 1
+    #: Engine mode: "auto" picks "batched" when batch_size > 1, else "serial".
+    engine: str = "auto"
+    #: Capacity of the batched path's LRU of classification outcomes (by oid).
+    posterior_cache_size: int = 4096
+
+
+@dataclass
+class PageVisit:
+    """One successfully fetched and classified page, in fetch order."""
+
+    tick: int
+    url: str
+    relevance: float
+    server: str
+    out_degree: int
+    best_leaf_cid: Optional[int] = None
+
+
+@dataclass
+class CrawlTrace:
+    """Everything a crawl run produced, for metrics and experiments."""
+
+    visits: List[PageVisit] = field(default_factory=list)
+    fetched_urls: List[str] = field(default_factory=list)
+    failed_urls: List[str] = field(default_factory=list)
+    distillations: int = 0
+    stagnated: bool = False
+    last_distillation: Optional[DistillationResult] = None
+
+    @property
+    def pages_fetched(self) -> int:
+        return len(self.visits)
+
+    def relevance_series(self) -> List[float]:
+        return [visit.relevance for visit in self.visits]
+
+    def visited_set(self) -> set[str]:
+        return set(self.fetched_urls)
+
+
+class OutcomeLRU:
+    """A small LRU of classification outcomes keyed by page oid.
+
+    Lets the batched pipeline skip re-scoring a page whose posterior was
+    computed recently — relevant for retry storms and for the §3.2 crawl
+    maintenance orderings that revisit known pages.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = max(int(capacity), 0)
+        self.hits = 0
+        self.misses = 0
+        self._data: "OrderedDict[int, BatchClassification]" = OrderedDict()
+
+    def get(self, oid: int) -> Optional[BatchClassification]:
+        outcome = self._data.get(oid)
+        if outcome is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(oid)
+        self.hits += 1
+        return outcome
+
+    def put(self, oid: int, outcome: BatchClassification) -> None:
+        if self.capacity == 0:
+            return
+        self._data[oid] = outcome
+        self._data.move_to_end(oid)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class BufferedLinkWriter:
+    """Round-buffered LINK writes: one bulk insert plus coalesced weight refreshes.
+
+    The serial path inserts a page's out-links and immediately walks the
+    ``link_dst`` index to refresh ``wgt_fwd`` of every edge pointing at the
+    freshly classified page, paying a full row update (with unconditional
+    index maintenance) per edge.  The buffered writer accumulates a whole
+    round, then flushes one ``insert_many`` and one ``update_rows`` —
+    ``wgt_fwd`` is unindexed, so the refresh becomes a pure heap write.
+    Refreshes are applied after the round's inserts in visit order, which
+    yields the same final table state as the serial interleaving.
+    """
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+        self._rows: List[tuple] = []
+        self._refresh: "OrderedDict[int, float]" = OrderedDict()
+
+    def record(self, rows: Sequence[tuple], source_oid: int, relevance: float) -> None:
+        self._rows.extend(rows)
+        self._refresh[source_oid] = relevance
+
+    def flush(self) -> List[RecordId]:
+        """Write the buffered round; returns the rids whose weights changed in place."""
+        if self._rows:
+            self.table.insert_many(self._rows)
+            self._rows = []
+        updated: List[RecordId] = []
+        updates: List[Tuple[RecordId, Dict[str, float]]] = []
+        for oid, relevance in self._refresh.items():
+            for rid in self.table.lookup_rids("link_dst", (oid,)):
+                updates.append((rid, {"wgt_fwd": relevance}))
+                updated.append(rid)
+        if updates:
+            self.table.update_rows(updates)
+        self._refresh = OrderedDict()
+        return updated
+
+
+class CrawlEngine:
+    """Executes crawl rounds against a frontier, in serial or batched mode."""
+
+    def __init__(
+        self,
+        fetcher: Fetcher,
+        classifier: HierarchicalModel,
+        taxonomy: TopicTaxonomy,
+        database: Database,
+        config: CrawlerConfig,
+        frontier: Frontier,
+        trace: CrawlTrace,
+    ) -> None:
+        if config.engine not in ENGINE_MODES:
+            raise ValueError(
+                f"unknown engine mode {config.engine!r}; expected one of {ENGINE_MODES}"
+            )
+        if config.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.fetcher = fetcher
+        self.classifier = classifier
+        self.taxonomy = taxonomy
+        self.database = database
+        self.config = config
+        self.frontier = frontier
+        self.trace = trace
+        self._tick = 0
+        self._since_distillation = 0
+        #: oid -> measured relevance of every visited page, in visit order.
+        self._relevance: Dict[int, float] = {}
+        self._outcome_cache = OutcomeLRU(config.posterior_cache_size)
+        self._link_writer = BufferedLinkWriter(database.table("LINK"))
+        self._incremental: Optional[IncrementalDistiller] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        # Link rows are built positionally for bulk loading; pin the order.
+        link_columns = tuple(database.table("LINK").schema.column_names)
+        expected = ("oid_src", "sid_src", "oid_dst", "sid_dst", "wgt_fwd", "wgt_rev")
+        if link_columns != expected:
+            raise ValueError(f"LINK schema order {link_columns} != {expected}")
+
+    # -- mode ------------------------------------------------------------------------
+    @property
+    def batched(self) -> bool:
+        if self.config.engine == "auto":
+            return self.config.batch_size > 1
+        return self.config.engine == "batched"
+
+    # -- public API ------------------------------------------------------------------
+    def run(self, budget: int) -> CrawlTrace:
+        """Run the crawl loop until the page budget or the frontier is exhausted."""
+        try:
+            if self.batched:
+                return self._run_batched(budget)
+            return self._run_serial(budget)
+        finally:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+                self._pool = None
+
+    def run_distillation(self) -> DistillationResult:
+        """Re-score hubs/authorities over the current crawl graph and boost frontier URLs."""
+        relevance = self.relevance_map()
+        if self.batched:
+            result = self._incremental_distiller().run(
+                relevance, max_iterations=self.config.distill_iterations
+            )
+        else:
+            result = weighted_hits(
+                self.links_from_table(),
+                relevance=relevance,
+                rho=self.config.rho,
+                max_iterations=self.config.distill_iterations,
+            )
+        self._store_scores(result)
+        self._boost_hub_neighbours(result)
+        self.trace.distillations += 1
+        self.trace.last_distillation = result
+        self._since_distillation = 0
+        return result
+
+    def links_from_table(self) -> list[Link]:
+        """Materialise the full LINK table (the serial distillation feed)."""
+        table = self.database.table("LINK")
+        schema = table.schema
+        links = []
+        for row in table.rows():
+            mapping = schema.row_to_mapping(row)
+            links.append(
+                Link(
+                    oid_src=mapping["oid_src"],
+                    sid_src=mapping["sid_src"],
+                    oid_dst=mapping["oid_dst"],
+                    sid_dst=mapping["sid_dst"],
+                    wgt_fwd=mapping["wgt_fwd"],
+                    wgt_rev=mapping["wgt_rev"],
+                )
+            )
+        return links
+
+    def relevance_map(self) -> Dict[int, float]:
+        """oid -> R(page) of every visited page, in visit order."""
+        return dict(self._relevance)
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Hit/miss counters of the classification-outcome LRU (monitoring)."""
+        return {
+            "hits": self._outcome_cache.hits,
+            "misses": self._outcome_cache.misses,
+            "entries": len(self._outcome_cache),
+        }
+
+    # -- serial mode -----------------------------------------------------------------
+    def _run_serial(self, budget: int) -> CrawlTrace:
+        misses = 0
+        while self.trace.pages_fetched < budget:
+            url = self.frontier.pop_next()
+            if url is None:
+                self.trace.stagnated = True
+                break
+            if self._visit_serial(url):
+                misses = 0
+            else:
+                misses += 1
+                if misses >= self.config.stagnation_patience:
+                    self.trace.stagnated = True
+                    break
+            if (
+                self.config.distill_every
+                and self._since_distillation >= self.config.distill_every
+            ):
+                self.run_distillation()
+        return self.trace
+
+    def _visit_serial(self, url: str) -> bool:
+        """Fetch, classify, persist, and expand one URL.  Returns True on success."""
+        result = self.fetcher.fetch(url)
+        if result.status is FetchStatus.NOT_FOUND:
+            self.frontier.record_failure(url, self.config.max_retries, permanent=True)
+            self.trace.failed_urls.append(url)
+            return False
+        if result.status is FetchStatus.SERVER_ERROR:
+            self.frontier.record_failure(url, self.config.max_retries)
+            self.trace.failed_urls.append(url)
+            return False
+
+        self._tick += 1
+        frequencies = term_frequencies(result.tokens)
+        relevance = self.classifier.relevance(frequencies)
+        best_leaf = (
+            self.classifier.best_leaf(frequencies) if self.config.record_best_leaf else None
+        )
+        entry = self.frontier.record_visit(url, relevance, self._tick, kcid=best_leaf)
+        self._relevance[entry.oid] = relevance
+        self._record_links_serial(entry, result.out_links, relevance)
+        hard_accepts = (
+            self.classifier.hard_focus_accepts(frequencies)
+            if self.config.focus_mode == "hard"
+            else True
+        )
+        self._expand(result.out_links, relevance, hard_accepts)
+        self._finish_visit(url, result, relevance, best_leaf)
+        return True
+
+    def _record_links_serial(
+        self, source_entry: FrontierEntry, targets: Sequence[str], relevance: float
+    ) -> None:
+        """Insert the page's LINK rows and refresh incoming E_F weights immediately."""
+        link_table = self.database.table("LINK")
+        rows = self._link_rows(source_entry, targets, relevance)
+        if rows:
+            link_table.insert_many(rows)
+        # Refresh E_F of edges that point at the page we just classified.
+        for rid in link_table.lookup_rids("link_dst", (source_entry.oid,)):
+            link_table.update_row(rid, {"wgt_fwd": relevance})
+
+    # -- batched mode ----------------------------------------------------------------
+    def _run_batched(self, budget: int) -> CrawlTrace:
+        config = self.config
+        # Create the delta cache up front so every flushed round feeds it.
+        self._incremental_distiller()
+        misses = 0
+        stop = False
+        while not stop and self.trace.pages_fetched < budget:
+            round_size = min(config.batch_size, budget - self.trace.pages_fetched)
+            urls = self.frontier.pop_batch(round_size)
+            if not urls:
+                self.trace.stagnated = True
+                break
+            results = self._fetch_stage(urls)
+            self.frontier.begin_batch()
+            fetched: List[Tuple[str, FetchResult]] = []
+            for url, result in zip(urls, results):
+                if result.status is FetchStatus.OK:
+                    fetched.append((url, result))
+                    misses = 0
+                    continue
+                permanent = result.status is FetchStatus.NOT_FOUND
+                self.frontier.record_failure(url, config.max_retries, permanent=permanent)
+                self.trace.failed_urls.append(url)
+                misses += 1
+                if misses >= config.stagnation_patience:
+                    self.trace.stagnated = True
+                    stop = True
+            outcomes = self._classify_stage(fetched)
+            for (url, result), outcome in zip(fetched, outcomes):
+                self._commit_visit(url, result, outcome)
+            self.frontier.flush_batch()
+            updated = self._link_writer.flush()
+            if updated:
+                self._incremental_distiller().note_updated(updated)
+            if (
+                config.distill_every
+                and self._since_distillation >= config.distill_every
+            ):
+                self.run_distillation()
+        return self.trace
+
+    def _fetch_stage(self, urls: Sequence[str]) -> List[FetchResult]:
+        """Fetch the round's URLs, returning results in checkout order.
+
+        The pool engages only when fetch outcomes cannot depend on shared
+        draw order: the simulated transient-failure stream is one
+        sequential generator (the "network"), and draining it from worker
+        threads would make the crawl depend on thread scheduling.  Real
+        (or failure-free simulated) fetchers go through the pool.
+        """
+        order_sensitive = getattr(self.fetcher, "simulate_failures", False)
+        if len(urls) == 1 or self.config.fetch_workers <= 1 or order_sensitive:
+            return [self.fetcher.fetch(url) for url in urls]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.config.fetch_workers,
+                thread_name_prefix="crawl-fetch",
+            )
+        return list(self._pool.map(self.fetcher.fetch, urls))
+
+    def _classify_stage(
+        self, fetched: Sequence[Tuple[str, FetchResult]]
+    ) -> List[BatchClassification]:
+        """Score the round's pages in one batch, behind the outcome LRU."""
+        outcomes: List[Optional[BatchClassification]] = []
+        pending: List[TermFrequencies] = []
+        positions: List[Tuple[int, int]] = []
+        for index, (url, result) in enumerate(fetched):
+            oid = self.frontier.entry(url).oid
+            cached = self._outcome_cache.get(oid)
+            outcomes.append(cached)
+            if cached is None:
+                pending.append(term_frequencies(result.tokens))
+                positions.append((index, oid))
+        if pending:
+            for (index, oid), outcome in zip(
+                positions, self.classifier.classify_batch(pending)
+            ):
+                outcomes[index] = outcome
+                self._outcome_cache.put(oid, outcome)
+        return outcomes  # type: ignore[return-value]
+
+    def _commit_visit(self, url: str, result: FetchResult, outcome: BatchClassification) -> None:
+        """Record one classified page: frontier state, links, expansion, trace."""
+        self._tick += 1
+        relevance = outcome.relevance
+        best_leaf = outcome.best_leaf_cid if self.config.record_best_leaf else None
+        entry = self.frontier.record_visit(url, relevance, self._tick, kcid=best_leaf)
+        self._relevance[entry.oid] = relevance
+        rows = self._link_rows(entry, result.out_links, relevance)
+        self._link_writer.record(rows, entry.oid, relevance)
+        hard_accepts = (
+            self.taxonomy.good_ancestor_of(outcome.best_leaf_cid) is not None
+            if self.config.focus_mode == "hard"
+            else True
+        )
+        self._expand(result.out_links, relevance, hard_accepts)
+        self._finish_visit(url, result, relevance, best_leaf)
+
+    # -- shared steps ----------------------------------------------------------------
+    def _finish_visit(
+        self, url: str, result: FetchResult, relevance: float, best_leaf: Optional[int]
+    ) -> None:
+        self.trace.visits.append(
+            PageVisit(
+                tick=self._tick,
+                url=url,
+                relevance=relevance,
+                server=result.server,
+                out_degree=len(result.out_links),
+                best_leaf_cid=best_leaf,
+            )
+        )
+        self.trace.fetched_urls.append(url)
+        self._since_distillation += 1
+
+    def _expand(self, out_links: Sequence[str], relevance: float, hard_accepts: bool) -> None:
+        """Apply the focus rule to decide whether/with what priority to enqueue out-links."""
+        mode = self.config.focus_mode
+        if mode == "hard" and not hard_accepts:
+            return
+        priority = relevance if mode != "none" else _UNFOCUSED_PRIORITY
+        for target in out_links:
+            self.frontier.add_url(target, relevance=priority)
+
+    def _link_rows(
+        self, source_entry: FrontierEntry, targets: Sequence[str], relevance: float
+    ) -> List[tuple]:
+        """LINK rows (in schema order) for a page's out-links.
+
+        ``wgt_rev`` of the new edges is the source's relevance (E_B).
+        ``wgt_fwd`` (E_F) needs the *destination's* relevance: known
+        destinations use their CRAWL relevance, unknown ones inherit the
+        source relevance until they are visited; edges pointing *to* this
+        page are refreshed once its own relevance is known (immediately in
+        serial mode, at round flush in batched mode).
+        """
+        rows: List[tuple] = []
+        seen: set[int] = set()
+        for target in targets:
+            normalized = normalize_url(target)
+            target_oid = url_oid(normalized)
+            if target_oid in seen or target_oid == source_entry.oid:
+                continue
+            seen.add(target_oid)
+            if target in self.frontier:
+                target_entry = self.frontier.entry(target)
+                target_sid = target_entry.sid
+                forward = (
+                    target_entry.relevance if target_entry.status == "visited" else relevance
+                )
+            else:
+                target_sid = server_sid(normalized)
+                forward = relevance
+            rows.append(
+                (
+                    source_entry.oid,
+                    source_entry.sid,
+                    target_oid,
+                    target_sid,
+                    forward,
+                    relevance,
+                )
+            )
+        return rows
+
+    # -- distillation plumbing -------------------------------------------------------
+    def _incremental_distiller(self) -> IncrementalDistiller:
+        if self._incremental is None:
+            self._incremental = IncrementalDistiller(
+                self.database,
+                rho=self.config.rho,
+                max_iterations=self.config.distill_iterations,
+            )
+        return self._incremental
+
+    def _store_scores(self, result: DistillationResult) -> None:
+        hubs = self.database.table("HUBS")
+        auth = self.database.table("AUTH")
+        hubs.truncate()
+        auth.truncate()
+        # (oid, score) matches the HUBS/AUTH schema order.
+        hubs.insert_many(result.hub_scores.items())
+        auth.insert_many(result.authority_scores.items())
+
+    def _boost_hub_neighbours(self, result: DistillationResult) -> None:
+        """Raise frontier priority of unvisited pages cited by the best hubs (§3.7)."""
+        if not result.hub_scores or self.config.hub_boost_top_k <= 0:
+            return
+        top_hubs = {oid for oid, _ in result.top_hubs(self.config.hub_boost_top_k)}
+        by_oid = {self.frontier.entry(u).oid: u for u in self.frontier.known_urls()}
+        link_table = self.database.table("LINK")
+        schema = link_table.schema
+        for hub_oid in top_hubs:
+            for row in link_table.lookup("link_src", (hub_oid,)):
+                mapping = schema.row_to_mapping(row)
+                if mapping["sid_src"] == mapping["sid_dst"]:
+                    continue
+                target_url = by_oid.get(mapping["oid_dst"])
+                if target_url is None:
+                    continue
+                self.frontier.boost(target_url, self.config.hub_boost_priority)

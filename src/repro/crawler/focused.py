@@ -1,14 +1,20 @@
 """The focused crawler: classifier-guided, distiller-assisted resource discovery.
 
 This is the paper's central loop (§2, §3.2).  Starting from the example
-seed pages, the crawler repeatedly checks out the best frontier URL under
-the active crawl ordering, fetches it, asks the classifier for its
-relevance R(u) (soft focus, Equation 3), records the page and its
+seed pages, the crawler repeatedly checks out the best frontier URL(s)
+under the active crawl ordering, fetches them, asks the classifier for
+their relevance R(u) (soft focus, Equation 3), records each page and its
 out-links in the CRAWL and LINK tables, and enqueues the out-links with
 priority inherited from the citing page.  Periodically the distiller
 re-scores hubs and authorities over the crawl graph, and unvisited
 out-neighbours of the top hubs get their priority raised (the §3.7
 "missed neighbours of great hubs" query).
+
+The loop itself lives in :mod:`repro.crawler.engine`;
+:class:`FocusedCrawler` is a thin driver that wires a frontier, a trace,
+and a :class:`~repro.crawler.engine.CrawlEngine` together.  Setting
+``CrawlerConfig.batch_size`` (and optionally ``fetch_workers``) switches
+the engine from the reference serial loop to the batched pipeline.
 
 Three focus modes are supported:
 
@@ -23,85 +29,25 @@ Three focus modes are supported:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Optional
 
 from repro.classifier.model import HierarchicalModel
-from repro.classifier.tokenizer import TermFrequencies, term_frequencies
-from repro.distiller.hits import DistillationResult, weighted_hits
+from repro.distiller.hits import DistillationResult
 from repro.distiller.weights import Link
 from repro.minidb import Database
 from repro.taxonomy.tree import TopicTaxonomy
-from repro.webgraph.fetch import Fetcher, FetchStatus
-from repro.webgraph.urls import normalize_url, url_oid
+from repro.webgraph.fetch import Fetcher
 
+from .engine import CrawlEngine, CrawlerConfig, CrawlTrace, PageVisit
 from .frontier import Frontier
-from .policies import CrawlOrdering, aggressive_discovery, breadth_first
+from .policies import aggressive_discovery, breadth_first
 
-#: Relevance assigned to a link target before anything is known about it
-#: when the crawl runs unfocused (ordering ignores it anyway).
-_UNFOCUSED_PRIORITY = 0.0
-
-
-@dataclass
-class CrawlerConfig:
-    """Knobs of a crawl run."""
-
-    #: Stop after this many successful page fetches.
-    max_pages: int = 1000
-    #: Focus mode: "soft" (default), "hard", or "none" (unfocused baseline).
-    focus_mode: str = "soft"
-    #: Crawl ordering; defaults to aggressive discovery (or BFS when unfocused).
-    ordering: Optional[CrawlOrdering] = None
-    #: Run the distiller every this many successful fetches (0 disables it).
-    distill_every: int = 200
-    #: Distillation iterations per run and relevance threshold ρ.
-    distill_iterations: int = 5
-    rho: float = 0.1
-    #: After distillation, boost unvisited out-neighbours of this many top hubs.
-    hub_boost_top_k: int = 10
-    #: Boosted pages get at least this frontier priority.
-    hub_boost_priority: float = 0.5
-    #: Give up on a URL after this many failed fetch attempts.
-    max_retries: int = 2
-    #: Give up on the whole crawl after this many consecutive frontier misses.
-    stagnation_patience: int = 50
-    #: Record the best-leaf class of every visited page (topic census support).
-    record_best_leaf: bool = True
-
-
-@dataclass
-class PageVisit:
-    """One successfully fetched and classified page, in fetch order."""
-
-    tick: int
-    url: str
-    relevance: float
-    server: str
-    out_degree: int
-    best_leaf_cid: Optional[int] = None
-
-
-@dataclass
-class CrawlTrace:
-    """Everything a crawl run produced, for metrics and experiments."""
-
-    visits: List[PageVisit] = field(default_factory=list)
-    fetched_urls: List[str] = field(default_factory=list)
-    failed_urls: List[str] = field(default_factory=list)
-    distillations: int = 0
-    stagnated: bool = False
-    last_distillation: Optional[DistillationResult] = None
-
-    @property
-    def pages_fetched(self) -> int:
-        return len(self.visits)
-
-    def relevance_series(self) -> List[float]:
-        return [visit.relevance for visit in self.visits]
-
-    def visited_set(self) -> set[str]:
-        return set(self.fetched_urls)
+__all__ = [
+    "CrawlerConfig",
+    "CrawlTrace",
+    "FocusedCrawler",
+    "PageVisit",
+]
 
 
 class FocusedCrawler:
@@ -127,8 +73,15 @@ class FocusedCrawler:
             ordering = breadth_first() if self.config.focus_mode == "none" else aggressive_discovery()
         self.frontier = Frontier(database, ordering)
         self.trace = CrawlTrace()
-        self._tick = 0
-        self._since_distillation = 0
+        self.engine = CrawlEngine(
+            fetcher=fetcher,
+            classifier=classifier,
+            taxonomy=taxonomy,
+            database=database,
+            config=self.config,
+            frontier=self.frontier,
+            trace=self.trace,
+        )
 
     # -- public API ------------------------------------------------------------------
     def add_seeds(self, urls: Iterable[str]) -> None:
@@ -139,188 +92,18 @@ class FocusedCrawler:
     def crawl(self, max_pages: Optional[int] = None) -> CrawlTrace:
         """Run the crawl loop until the page budget or the frontier is exhausted."""
         budget = max_pages if max_pages is not None else self.config.max_pages
-        misses = 0
-        while self.trace.pages_fetched < budget:
-            url = self.frontier.pop_next()
-            if url is None:
-                self.trace.stagnated = True
-                break
-            outcome = self._visit(url)
-            if outcome:
-                misses = 0
-            else:
-                misses += 1
-                if misses >= self.config.stagnation_patience:
-                    self.trace.stagnated = True
-                    break
-            if (
-                self.config.distill_every
-                and self._since_distillation >= self.config.distill_every
-            ):
-                self.run_distillation()
-        return self.trace
+        return self.engine.run(budget)
 
     def run_distillation(self) -> DistillationResult:
         """Re-score hubs/authorities over the current crawl graph and boost frontier URLs."""
-        result = weighted_hits(
-            self._links_from_table(),
-            relevance=self._relevance_map(),
-            rho=self.config.rho,
-            max_iterations=self.config.distill_iterations,
-        )
-        self._store_scores(result)
-        self._boost_hub_neighbours(result)
-        self.trace.distillations += 1
-        self.trace.last_distillation = result
-        self._since_distillation = 0
-        return result
+        return self.engine.run_distillation()
 
-    # -- crawl step ---------------------------------------------------------------------
-    def _visit(self, url: str) -> bool:
-        """Fetch, classify, persist, and expand one URL.  Returns True on success."""
-        result = self.fetcher.fetch(url)
-        if result.status is FetchStatus.NOT_FOUND:
-            self.frontier.record_failure(url, self.config.max_retries, permanent=True)
-            self.trace.failed_urls.append(url)
-            return False
-        if result.status is FetchStatus.SERVER_ERROR:
-            self.frontier.record_failure(url, self.config.max_retries)
-            self.trace.failed_urls.append(url)
-            return False
-
-        self._tick += 1
-        frequencies = term_frequencies(result.tokens)
-        relevance = self.classifier.relevance(frequencies)
-        best_leaf = (
-            self.classifier.best_leaf(frequencies) if self.config.record_best_leaf else None
-        )
-        self.frontier.record_visit(url, relevance, self._tick, kcid=best_leaf)
-        self._record_links(url, result.out_links, relevance)
-        self._expand(result.out_links, relevance, frequencies)
-
-        self.trace.visits.append(
-            PageVisit(
-                tick=self._tick,
-                url=url,
-                relevance=relevance,
-                server=result.server,
-                out_degree=len(result.out_links),
-                best_leaf_cid=best_leaf,
-            )
-        )
-        self.trace.fetched_urls.append(url)
-        self._since_distillation += 1
-        return True
-
-    def _expand(
-        self, out_links: Sequence[str], relevance: float, frequencies: TermFrequencies
-    ) -> None:
-        """Apply the focus rule to decide whether/with what priority to enqueue out-links."""
-        mode = self.config.focus_mode
-        if mode == "hard" and not self.classifier.hard_focus_accepts(frequencies):
-            return
-        priority = relevance if mode != "none" else _UNFOCUSED_PRIORITY
-        for target in out_links:
-            self.frontier.add_url(target, relevance=priority)
-
-    # -- persistence ----------------------------------------------------------------------
-    def _record_links(self, source_url: str, targets: Sequence[str], relevance: float) -> None:
-        """Insert LINK rows for the page's out-links and refresh edge weights.
-
-        ``wgt_rev`` of the new edges is the source's relevance (E_B).
-        ``wgt_fwd`` (E_F) needs the *destination's* relevance: known
-        destinations use their CRAWL relevance, unknown ones inherit the
-        source relevance until they are visited; edges pointing *to* this
-        page are refreshed now that its relevance is known.
-        """
-        link_table = self.database.table("LINK")
-        source_entry = self.frontier.entry(source_url)
-        rows = []
-        seen: set[int] = set()
-        for target in targets:
-            normalized = normalize_url(target)
-            target_oid = url_oid(normalized)
-            if target_oid in seen or target_oid == source_entry.oid:
-                continue
-            seen.add(target_oid)
-            if target in self.frontier:
-                target_entry = self.frontier.entry(target)
-                target_sid = target_entry.sid
-                forward = (
-                    target_entry.relevance if target_entry.status == "visited" else relevance
-                )
-            else:
-                from repro.webgraph.urls import server_sid
-
-                target_sid = server_sid(normalized)
-                forward = relevance
-            rows.append(
-                {
-                    "oid_src": source_entry.oid,
-                    "sid_src": source_entry.sid,
-                    "oid_dst": target_oid,
-                    "sid_dst": target_sid,
-                    "wgt_fwd": forward,
-                    "wgt_rev": relevance,
-                }
-            )
-        if rows:
-            link_table.insert_many(rows)
-        # Refresh E_F of edges that point at the page we just classified.
-        for rid in link_table.lookup_rids("link_dst", (source_entry.oid,)):
-            link_table.update_row(rid, {"wgt_fwd": relevance})
-
+    # -- views used by benchmarks and experiments --------------------------------------
     def _links_from_table(self) -> list[Link]:
-        schema = self.database.table("LINK").schema
-        links = []
-        for row in self.database.table("LINK").rows():
-            mapping = schema.row_to_mapping(row)
-            links.append(
-                Link(
-                    oid_src=mapping["oid_src"],
-                    sid_src=mapping["sid_src"],
-                    oid_dst=mapping["oid_dst"],
-                    sid_dst=mapping["sid_dst"],
-                    wgt_fwd=mapping["wgt_fwd"],
-                    wgt_rev=mapping["wgt_rev"],
-                )
-            )
-        return links
+        return self.engine.links_from_table()
 
     def _relevance_map(self) -> Dict[int, float]:
-        relevance: Dict[int, float] = {}
-        for url in self.trace.fetched_urls:
-            entry = self.frontier.entry(url)
-            relevance[entry.oid] = entry.relevance
-        return relevance
-
-    def _store_scores(self, result: DistillationResult) -> None:
-        hubs = self.database.table("HUBS")
-        auth = self.database.table("AUTH")
-        hubs.truncate()
-        auth.truncate()
-        hubs.insert_many({"oid": oid, "score": score} for oid, score in result.hub_scores.items())
-        auth.insert_many(
-            {"oid": oid, "score": score} for oid, score in result.authority_scores.items()
-        )
-
-    def _boost_hub_neighbours(self, result: DistillationResult) -> None:
-        """Raise frontier priority of unvisited pages cited by the best hubs (§3.7)."""
-        if not result.hub_scores or self.config.hub_boost_top_k <= 0:
-            return
-        top_hubs = {oid for oid, _ in result.top_hubs(self.config.hub_boost_top_k)}
-        by_oid = {self.frontier.entry(u).oid: u for u in self.frontier.known_urls()}
-        link_table = self.database.table("LINK")
-        schema = link_table.schema
-        for hub_oid in top_hubs:
-            for row in link_table.lookup("link_src", (hub_oid,)):
-                mapping = schema.row_to_mapping(row)
-                if mapping["sid_src"] == mapping["sid_dst"]:
-                    continue
-                target_url = by_oid.get(mapping["oid_dst"])
-                if target_url is None:
-                    continue
-                self.frontier.boost(target_url, self.config.hub_boost_priority)
+        return self.engine.relevance_map()
 
     # -- convenience accessors ------------------------------------------------------------------
     def top_hubs(self, k: int = 10) -> list[tuple[str, float]]:

@@ -5,14 +5,24 @@ SQL can inspect the frontier and so triggers/monitoring work as in the
 paper).  The Frontier keeps an in-memory priority heap mirroring the
 ordering over frontier-status rows — the role an index ordering plays in
 DB2 — with lazy invalidation when priorities change.
+
+Ties under the crawl ordering are broken by page oid, which is a stable
+function of the URL: checkout order therefore does not depend on
+insertion history, so batched crawls are reproducible under a fixed seed
+regardless of how a round interleaved its ``add_url`` calls.
+
+For the batched crawl engine the frontier supports *round buffering*
+(:meth:`begin_batch` / :meth:`flush_batch`): in-memory entries stay
+authoritative at all times, while CRAWL-table writes accumulate and are
+flushed once per round through ``insert_many`` / ``update_rows``.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Mapping, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
 
 from repro.minidb import Database
 from repro.minidb.pages import RecordId
@@ -63,8 +73,11 @@ class Frontier:
         self._entries: Dict[str, FrontierEntry] = {}
         self._server_load: Dict[int, int] = {}
         self._heap: list[tuple[tuple, int, str]] = []
-        self._counter = itertools.count()
         self._discovered = itertools.count()
+        # Round buffering (batched engine): pending CRAWL inserts/updates.
+        self._buffering = False
+        self._pending_new: list[FrontierEntry] = []
+        self._pending_changes: Dict[str, Dict[str, Any]] = {}
 
     # -- policy ------------------------------------------------------------------
     def set_ordering(self, ordering: CrawlOrdering) -> None:
@@ -119,23 +132,27 @@ class Frontier:
             serverload=self._server_load.get(sid, 0),
             discovered=next(self._discovered),
         )
-        crawl = self.database.table("CRAWL")
-        entry.rid = crawl.insert(
-            {
-                "oid": oid,
-                "url": normalized,
-                "sid": sid,
-                "relevance": relevance,
-                "numtries": 0,
-                "serverload": entry.serverload,
-                "lastvisited": None,
-                "kcid": None,
-                "status": "frontier",
-            }
-        )
+        if self._buffering:
+            self._pending_new.append(entry)
+        else:
+            entry.rid = self.database.table("CRAWL").insert(self._crawl_row(entry))
         self._entries[normalized] = entry
         self._push(entry)
         return entry
+
+    def _crawl_row(self, entry: FrontierEntry) -> Dict[str, Any]:
+        status = "frontier" if entry.status == "in_flight" else entry.status
+        return {
+            "oid": entry.oid,
+            "url": entry.url,
+            "sid": entry.sid,
+            "relevance": entry.relevance,
+            "numtries": entry.numtries,
+            "serverload": entry.serverload,
+            "lastvisited": entry.lastvisited,
+            "kcid": None,
+            "status": status,
+        }
 
     def add_seed(self, url: str) -> FrontierEntry:
         """Seeds (the examples D(C*)) enter with maximal priority."""
@@ -203,13 +220,23 @@ class Frontier:
 
     # -- popping --------------------------------------------------------------------------
     def pop_next(self) -> Optional[str]:
-        """Return the best frontier URL under the current ordering, or None if empty.
+        """Return the best frontier URL under the current ordering, or None if empty."""
+        batch = self.pop_batch(1)
+        return batch[0] if batch else None
 
-        Stale heap entries (priority changed or URL no longer in frontier
-        state) are discarded lazily.
+    def pop_batch(self, k: int) -> list[str]:
+        """Check out up to *k* frontier URLs in one heap drain.
+
+        One continuous drain of the heap, not *k* independent top-level
+        pops: every popped entry is validated lazily (stale priorities are
+        re-queued, non-frontier entries discarded) and accepted entries are
+        marked ``in_flight`` so they cannot be returned twice within the
+        drain.  Ties under the ordering come out in stable oid order
+        (see :meth:`_push`), so a batched checkout is deterministic.
         """
-        while self._heap:
-            key, _seq, url = heapq.heappop(self._heap)
+        checked_out: list[str] = []
+        while self._heap and len(checked_out) < k:
+            key, _oid, url = heapq.heappop(self._heap)
             entry = self._entries.get(url)
             if entry is None or entry.status != "frontier":
                 continue
@@ -221,8 +248,8 @@ class Frontier:
                 self._push(entry)
                 continue
             entry.status = "in_flight"
-            return url
-        return None
+            checked_out.append(url)
+        return checked_out
 
     def requeue(self, url: str) -> None:
         """Return an in-flight URL to the frontier (e.g. after a transient failure)."""
@@ -240,9 +267,14 @@ class Frontier:
         return self.ordering.sort_key(record)
 
     def _push(self, entry: FrontierEntry) -> None:
-        heapq.heappush(self._heap, (self._current_key(entry), next(self._counter), entry.url))
+        # Tie-break equal ordering keys by oid — a stable function of the
+        # URL — so checkout order is independent of insertion history.
+        heapq.heappush(self._heap, (self._current_key(entry), entry.oid, entry.url))
 
     def _sync_row(self, entry: FrontierEntry, changes: Mapping[str, Any]) -> None:
+        if self._buffering:
+            self._pending_changes.setdefault(entry.url, {}).update(changes)
+            return
         if entry.rid is None:
             return
         # ``in_flight`` is frontier-internal; the table only knows the paper's states.
@@ -250,3 +282,38 @@ class Frontier:
         if changes.get("status") == "in_flight":
             changes["status"] = "frontier"
         self.database.table("CRAWL").update_row(entry.rid, changes)
+
+    # -- round buffering (batched engine) ---------------------------------------------
+    def begin_batch(self) -> None:
+        """Start buffering CRAWL-table writes for one crawl round.
+
+        In-memory entries (the authoritative state for ordering decisions)
+        keep updating immediately; only the table writes are deferred.
+        """
+        self._buffering = True
+
+    def flush_batch(self) -> None:
+        """Write the round's buffered CRAWL inserts and updates in bulk."""
+        crawl = self.database.table("CRAWL")
+        new_entries = self._pending_new
+        if new_entries:
+            # New rows are built from the *current* entry state, so any
+            # same-round boost is folded into the insert itself.
+            rids = crawl.insert_many([self._crawl_row(entry) for entry in new_entries])
+            for entry, rid in zip(new_entries, rids):
+                entry.rid = rid
+                self._pending_changes.pop(entry.url, None)
+        updates = []
+        for url, changes in self._pending_changes.items():
+            entry = self._entries[url]
+            if entry.rid is None:
+                continue
+            changes = dict(changes)
+            if changes.get("status") == "in_flight":
+                changes["status"] = "frontier"
+            updates.append((entry.rid, changes))
+        if updates:
+            crawl.update_rows(updates)
+        self._pending_new = []
+        self._pending_changes = {}
+        self._buffering = False

@@ -11,8 +11,8 @@ record for a URL.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any, Mapping
 
 
 @dataclass(frozen=True)

@@ -7,15 +7,23 @@ derived from the classifier's relevance judgements so prestige does not
 leak to off-topic pages.
 """
 
-from .db_distiller import DistillerCost, IndexLookupDistiller, JoinDistiller
+from .db_distiller import (
+    DistillerCost,
+    IncrementalDistiller,
+    IndexLookupDistiller,
+    JoinDistiller,
+    LinkDeltaCache,
+)
 from .hits import DistillationResult, weighted_hits
 from .weights import Link, assign_weights, backward_weight, forward_weight
 
 __all__ = [
     "DistillationResult",
     "DistillerCost",
+    "IncrementalDistiller",
     "IndexLookupDistiller",
     "JoinDistiller",
+    "LinkDeltaCache",
     "Link",
     "assign_weights",
     "backward_weight",

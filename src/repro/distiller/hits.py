@@ -14,7 +14,7 @@ scores cheaply; the DB-backed distillers in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Sequence
+from typing import Dict, Iterable, Mapping
 
 from .weights import Link
 
@@ -79,24 +79,30 @@ def weighted_hits(
     hubs: Dict[int, float] = {oid: 1.0 / len(sources) for oid in sources}
     authorities: Dict[int, float] = {}
 
+    # The relevance filter and the forward weights do not change across
+    # iterations, so resolve them once instead of per edge per iteration.
+    forward_edges: list[tuple[int, int, float]] = []
+    for link in edges:
+        destination_relevance = relevance.get(link.oid_dst, 0.0)
+        if destination_relevance <= rho:
+            continue
+        weight = (
+            (link.wgt_fwd if link.wgt_fwd is not None else destination_relevance)
+            if use_relevance_weights
+            else 1.0
+        )
+        forward_edges.append((link.oid_src, link.oid_dst, weight))
+
     iterations_run = 0
     for iteration in range(max_iterations):
         iterations_run = iteration + 1
         # Authority update (forward direction, filtered by relevance > rho).
         new_authorities: Dict[int, float] = {}
-        for link in edges:
-            destination_relevance = relevance.get(link.oid_dst, 0.0)
-            if destination_relevance <= rho:
-                continue
-            weight = (
-                (link.wgt_fwd if link.wgt_fwd is not None else destination_relevance)
-                if use_relevance_weights
-                else 1.0
-            )
-            contribution = hubs.get(link.oid_src, 0.0) * weight
+        for oid_src, oid_dst, weight in forward_edges:
+            contribution = hubs.get(oid_src, 0.0) * weight
             if contribution:
-                new_authorities[link.oid_dst] = (
-                    new_authorities.get(link.oid_dst, 0.0) + contribution
+                new_authorities[oid_dst] = (
+                    new_authorities.get(oid_dst, 0.0) + contribution
                 )
         _normalize(new_authorities)
 

@@ -14,13 +14,12 @@ stagnation scenario (mutual funds) and its fix.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.core import metrics
 from repro.core.system import CrawlResult
-from repro.crawler.focused import CrawlerConfig
 
-from .workloads import CYCLING, INVESTMENT, MUTUAL_FUNDS, CrawlWorkload, build_crawl_workload
+from .workloads import INVESTMENT, MUTUAL_FUNDS, CrawlWorkload, build_crawl_workload
 
 
 @dataclass

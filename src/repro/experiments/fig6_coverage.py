@@ -20,7 +20,7 @@ from repro.core import metrics
 from repro.core.metrics import CoveragePoint
 from repro.core.system import CrawlResult
 
-from .workloads import CYCLING, CrawlWorkload, build_crawl_workload
+from .workloads import CrawlWorkload, build_crawl_workload
 
 
 @dataclass

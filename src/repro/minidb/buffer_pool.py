@@ -18,8 +18,8 @@ up in the miss counts exactly as it does in the paper's running times.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from .errors import BufferPoolError
 from .pages import Page, PageId

@@ -42,6 +42,11 @@ class Index:
     def delete(self, row: Sequence[Any], rid: RecordId) -> None:
         raise NotImplementedError
 
+    def delete_many(self, pairs: Iterable[tuple[Sequence[Any], RecordId]]) -> None:
+        """Remove many ``(row, rid)`` entries; subclasses may batch per key."""
+        for row, rid in pairs:
+            self.delete(row, rid)
+
     def clear(self) -> None:
         raise NotImplementedError
 
@@ -74,6 +79,49 @@ class HashIndex(Index):
         self._entries -= 1
         if not bucket:
             del self._buckets[key]
+
+    def delete_many(self, pairs: Iterable[tuple[Sequence[Any], RecordId]]) -> None:
+        """Grouped removal: one pass over each touched bucket.
+
+        ``delete`` is a linear probe of the key's record-id list, so K
+        deletes against a hot bucket (e.g. ``status = 'frontier'`` during a
+        batched crawl round) cost K full scans.  Grouping by key rebuilds
+        each bucket once against a hash set instead.
+        """
+        by_key: dict[tuple, list[RecordId]] = {}
+        for row, rid in pairs:
+            by_key.setdefault(self.key_of(row), []).append(rid)
+        for key, rids in by_key.items():
+            bucket = self._buckets.get(key)
+            if len(rids) == 1:
+                if not bucket or rids[0] not in bucket:
+                    raise StorageError(
+                        f"index {self.name!r}: {rids[0]} not found under key {key!r}"
+                    )
+                bucket.remove(rids[0])
+            else:
+                source = bucket or ()
+                # Identity pass first: callers almost always hand back the
+                # record-id objects the index itself stored, and comparing
+                # by id() skips per-element dataclass hashing on a bucket
+                # that may hold tens of thousands of entries.
+                removing_ids = {id(rid) for rid in rids}
+                remaining = [r for r in source if id(r) not in removing_ids]
+                if len(remaining) != len(source) - len(rids):
+                    removing = set(rids)
+                    remaining = [r for r in source if r not in removing]
+                    if len(remaining) != len(source) - len(removing):
+                        raise StorageError(
+                            f"index {self.name!r}: missing entries under key {key!r}"
+                        )
+                if remaining:
+                    self._buckets[key] = remaining
+                    bucket = remaining
+                else:
+                    bucket = []
+            self._entries -= len(rids)
+            if not bucket:
+                self._buckets.pop(key, None)
 
     def clear(self) -> None:
         self._buckets.clear()

@@ -20,9 +20,8 @@ plans can be inspected in tests and benchmarks.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+from typing import Any, Iterable, Iterator, Optional, Sequence
 
 from .errors import QueryError
 from .expressions import Expression

@@ -12,7 +12,7 @@ pages, not in rows, drives I/O.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Optional, Sequence
+from typing import Iterator, Optional
 
 from .errors import StorageError
 
@@ -63,6 +63,10 @@ class Page:
     slots: list[Optional[tuple]] = field(default_factory=list)
     used_bytes: int = PAGE_HEADER
     dirty: bool = False
+    #: Count of empty slots left by deletes; lets insert append without
+    #: scanning the slot directory when there is nothing to reuse (the
+    #: common case for append-only tables such as CRAWL and LINK).
+    tombstones: int = 0
 
     def free_bytes(self) -> int:
         return self.capacity - self.used_bytes
@@ -76,10 +80,12 @@ class Page:
             raise StorageError(f"row of {row_size} bytes does not fit in {self.page_id}")
         self.used_bytes += row_size + SLOT_OVERHEAD
         self.dirty = True
-        for slot, existing in enumerate(self.slots):
-            if existing is None:
-                self.slots[slot] = row
-                return slot
+        if self.tombstones:
+            for slot, existing in enumerate(self.slots):
+                if existing is None:
+                    self.slots[slot] = row
+                    self.tombstones -= 1
+                    return slot
         self.slots.append(row)
         return len(self.slots) - 1
 
@@ -100,6 +106,7 @@ class Page:
         if self._slot(slot) is None:
             raise StorageError(f"slot {slot} of {self.page_id} is already empty")
         self.slots[slot] = None
+        self.tombstones += 1
         self.used_bytes -= row_size + SLOT_OVERHEAD
         self.dirty = True
 

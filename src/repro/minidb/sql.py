@@ -38,7 +38,7 @@ filter.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping, Optional, Sequence
 
 from .errors import QueryError, SQLSyntaxError

@@ -8,7 +8,7 @@ page I/O.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Sequence
 
 from .buffer_pool import BufferPool
 from .errors import StorageError
@@ -54,31 +54,81 @@ class HeapFile:
     def insert(self, row: tuple) -> RecordId:
         """Append *row*, returning its record id."""
         row_size = self.schema.row_size(row)
-        if row_size > self.page_size // 2:
-            raise StorageError(
-                f"row of {row_size} bytes too large for page size {self.page_size}"
-            )
+        self.check_row_size(row_size)
         page = self._page_with_room(row_size)
         slot = page.insert(row, row_size)
         self.buffer_pool.mark_dirty(page.page_id)
         self._row_count += 1
         return RecordId(page.page_id, slot)
 
+    def insert_rows(
+        self, rows: Sequence[tuple], sizes: Optional[Sequence[int]] = None
+    ) -> list[RecordId]:
+        """Append many rows in one pass, returning their record ids.
+
+        Unlike repeated :meth:`insert`, the current fill page is pinned
+        through the buffer pool only once per page switch instead of once
+        per row, so a bulk load of N rows touches O(pages) frames rather
+        than O(N).  *sizes*, when given, carries per-row byte sizes already
+        computed (and checked) by the caller; between page switches no
+        other pool activity happens, so holding the page object is safe.
+        """
+        rids: list[RecordId] = []
+        page: Optional[Page] = None
+        for position, row in enumerate(rows):
+            if sizes is not None:
+                row_size = sizes[position]
+            else:
+                row_size = self.schema.row_size(row)
+                self.check_row_size(row_size)
+            if page is None:
+                page = self._page_with_room(row_size)
+            elif not page.fits(row_size):
+                new_id = PageId(self.file_id, self._page_count)
+                self._page_count += 1
+                self.buffer_pool.create_page(new_id, self.page_size)
+                # Re-fetch through the pool so the bulk load is charged one
+                # logical page access per page it fills (a sequential write
+                # pattern), keeping the I/O cost model meaningful.
+                page = self.buffer_pool.get_page(new_id)
+            slot = page.insert(row, row_size)
+            self.buffer_pool.mark_dirty(page.page_id)
+            self._row_count += 1
+            rids.append(RecordId(page.page_id, slot))
+        return rids
+
+    def check_row_size(self, row_size: int) -> None:
+        """Reject rows too large for a page (shared by single and bulk inserts)."""
+        if row_size > self.page_size // 2:
+            raise StorageError(
+                f"row of {row_size} bytes too large for page size {self.page_size}"
+            )
+
     def read(self, rid: RecordId) -> tuple:
         self._check_rid(rid)
         page = self.buffer_pool.get_page(rid.page_id)
         return page.read(rid.slot)
 
-    def update(self, rid: RecordId, row: tuple) -> None:
+    def update(self, rid: RecordId, row: tuple, size_delta: Optional[int] = None) -> None:
+        """Overwrite the row at *rid*.
+
+        ``size_delta``, when given, is the byte-count change of the
+        replacement as already computed by the caller (e.g. from the
+        changed columns alone); it skips the two full row-size
+        computations, which otherwise re-encode every TEXT column.
+        """
         self._check_rid(rid)
         page = self.buffer_pool.get_page(rid.page_id)
         old = page.read(rid.slot)
-        page.update(
-            rid.slot,
-            row,
-            old_size=self.schema.row_size(old),
-            new_size=self.schema.row_size(row),
-        )
+        if size_delta is not None:
+            page.update(rid.slot, row, old_size=0, new_size=size_delta)
+        else:
+            page.update(
+                rid.slot,
+                row,
+                old_size=self.schema.row_size(old),
+                new_size=self.schema.row_size(row),
+            )
         self.buffer_pool.mark_dirty(rid.page_id)
 
     def delete(self, rid: RecordId) -> tuple:
@@ -101,7 +151,12 @@ class HeapFile:
     # -- scans --------------------------------------------------------------
     def scan(self) -> Iterator[tuple[RecordId, tuple]]:
         """Yield ``(rid, row)`` for every live row, page by page (sequential I/O)."""
-        for page_id in self.page_ids():
+        return self.scan_from(0)
+
+    def scan_from(self, start_page: int) -> Iterator[tuple[RecordId, tuple]]:
+        """Like :meth:`scan`, but starting at *start_page* (delta scans)."""
+        for page_no in range(start_page, self._page_count):
+            page_id = PageId(self.file_id, page_no)
             page = self.buffer_pool.get_page(page_id)
             for slot, row in page.rows():
                 yield RecordId(page_id, slot), row

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
 from .buffer_pool import BufferPool
-from .errors import CatalogError, ConstraintError, QueryError
+from .errors import CatalogError, ConstraintError, QueryError, SchemaError
 from .expressions import Expression
 from .index import HashIndex, Index, OrderedIndex, build_index
 from .pages import DEFAULT_PAGE_SIZE, RecordId
@@ -104,18 +104,40 @@ class Table:
         self._notify("insert", [row])
         return rid
 
-    def insert_many(self, rows: Iterable[Sequence[Any] | Mapping[str, Any]]) -> int:
-        """Bulk insert; returns the number of rows inserted."""
-        inserted: list[Row] = []
+    def insert_many(self, rows: Iterable[Sequence[Any] | Mapping[str, Any]]) -> list[RecordId]:
+        """Atomic bulk insert; returns the record ids of the inserted rows.
+
+        Every row is coerced and checked (types, sizes, primary-key
+        uniqueness — including duplicates *within* the batch) before any of
+        them touches the heap, so a constraint violation anywhere in the
+        batch leaves the table unchanged.  The heap append itself goes
+        through :meth:`HeapFile.insert_rows`, which pins each fill page
+        once per page switch rather than once per row.
+        """
+        coerced: list[Row] = []
+        sizes: list[int] = []
+        batch_keys: set[tuple] = set()
         for values in rows:
             row = self._coerce(values)
             self._check_primary_key(row)
-            rid = self.heap.insert(row)
+            size = self.schema.row_size(row)
+            self.heap.check_row_size(size)
+            if self._pk_index is not None:
+                key = self.schema.key_of(row)
+                if key in batch_keys:
+                    raise ConstraintError(
+                        f"table {self.name!r}: duplicate primary key {key!r} within batch"
+                    )
+                batch_keys.add(key)
+            coerced.append(row)
+            sizes.append(size)
+        if not coerced:
+            return []
+        rids = self.heap.insert_rows(coerced, sizes)
+        for row, rid in zip(coerced, rids):
             self._index_insert(row, rid)
-            inserted.append(row)
-        if inserted:
-            self._notify("insert", inserted)
-        return len(inserted)
+        self._notify("insert", coerced)
+        return rids
 
     def update_row(self, rid: RecordId, changes: Mapping[str, Any]) -> Row:
         """Apply *changes* to the row at *rid*; returns the new row."""
@@ -130,6 +152,79 @@ class Table:
         self._index_insert(new, rid)
         self._notify("update", [new])
         return new
+
+    def update_rows(self, updates: Sequence[tuple[RecordId, Mapping[str, Any]]]) -> int:
+        """Apply many per-row change sets in one batch; returns the row count.
+
+        Unlike row-at-a-time :meth:`update_row`, index maintenance is
+        limited to the indexes whose key columns actually appear in the
+        change sets (and, within those, to rows whose key value really
+        changed), and deletions against each index are grouped so a hot
+        bucket is rebuilt once instead of probed per row.  Primary-key
+        changes fall back to the checked row-at-a-time path.
+        """
+        if not updates:
+            return 0
+        changed_columns: set[str] = set()
+        for _rid, changes in updates:
+            changed_columns.update(changes.keys())
+        unknown = changed_columns - set(self.schema.column_names)
+        if unknown:
+            raise SchemaError(
+                f"unknown columns {sorted(unknown)}; have {self.schema.column_names}"
+            )
+        if self.schema.primary_key and changed_columns & set(self.schema.primary_key):
+            for rid, changes in updates:
+                self.update_row(rid, changes)
+            return len(updates)
+
+        columns = {
+            column.name: (index, column.validate, column.type.storage_size)
+            for index, column in enumerate(self.schema.columns)
+        }
+        # Patch only the changed columns into the stored row: the untouched
+        # values were validated when first stored, and summing per-column
+        # size deltas avoids re-measuring (and re-encoding) the whole row.
+        items: list[tuple[RecordId, Row, Row, int]] = []
+        for rid, changes in updates:
+            old = self.heap.read(rid)
+            patched = list(old)
+            size_delta = 0
+            for name, value in changes.items():
+                index, validate, sizeof = columns[name]
+                coerced = validate(value)
+                size_delta += sizeof(coerced) - sizeof(old[index])
+                patched[index] = coerced
+            items.append((rid, old, tuple(patched), size_delta))
+
+        affected = [
+            index
+            for index in self.indexes.values()
+            if changed_columns & set(index.key_columns)
+        ]
+        # Rows whose key actually moved, computed once per index and reused
+        # for both the grouped deletes and the re-inserts.
+        moved_by_index = [
+            (
+                index,
+                [
+                    (rid, old, new)
+                    for rid, old, new, _delta in items
+                    if index.key_of(old) != index.key_of(new)
+                ],
+            )
+            for index in affected
+        ]
+        for index, moved in moved_by_index:
+            if moved:
+                index.delete_many([(old, rid) for rid, old, _new in moved])
+        for rid, _old, new, size_delta in items:
+            self.heap.update(rid, new, size_delta=size_delta)
+        for index, moved in moved_by_index:
+            for rid, _old, new in moved:
+                index.insert(new, rid)
+        self._notify("update", [new for _rid, _old, new, _delta in items])
+        return len(items)
 
     def update_where(
         self, predicate: Optional[Expression], changes: Mapping[str, Any]

@@ -11,7 +11,7 @@ statements on a table, optionally rate-limited so expensive actions
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, Sequence
 
 from .errors import CatalogError
 from .types import Row

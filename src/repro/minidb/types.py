@@ -119,6 +119,10 @@ class Schema:
         for key_col in self.primary_key:
             if key_col not in self._index:
                 raise SchemaError(f"primary key column {key_col!r} not in schema")
+        # Hot-path caches: row conversion runs per row on every insert/scan.
+        self._names = tuple(names)
+        self._validators = tuple(c.validate for c in self.columns)
+        self._sizers = tuple(c.type.storage_size for c in self.columns)
 
     # -- introspection -------------------------------------------------
     @property
@@ -148,17 +152,17 @@ class Schema:
             raise SchemaError(
                 f"row has {len(values)} values, schema has {len(self.columns)} columns"
             )
-        return tuple(col.validate(val) for col, val in zip(self.columns, values))
+        return tuple(map(lambda v, validate: validate(v), values, self._validators))
 
     def row_from_mapping(self, mapping: Mapping[str, Any]) -> Row:
         """Build a positional row from a column-name mapping (missing columns become NULL)."""
-        unknown = set(mapping) - set(self._index)
-        if unknown:
+        if not self._index.keys() >= mapping.keys():
+            unknown = set(mapping) - set(self._index)
             raise SchemaError(f"unknown columns {sorted(unknown)}; have {self.column_names}")
-        return self.validate_row([mapping.get(c.name) for c in self.columns])
+        return self.validate_row(list(map(mapping.get, self._names)))
 
     def row_to_mapping(self, row: Sequence[Any]) -> dict[str, Any]:
-        return {c.name: v for c, v in zip(self.columns, row)}
+        return dict(zip(self._names, row))
 
     def key_of(self, row: Sequence[Any]) -> tuple:
         """Extract the primary-key tuple from a row (empty tuple if no primary key)."""
@@ -166,7 +170,7 @@ class Schema:
 
     def row_size(self, row: Sequence[Any]) -> int:
         """Approximate stored size of *row* in bytes."""
-        return sum(c.type.storage_size(v) for c, v in zip(self.columns, row))
+        return sum(map(lambda v, size: size(v), row, self._sizers))
 
     def project_positions(self, names: Iterable[str]) -> list[int]:
         return [self.position(n) for n in names]

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, Optional, Sequence
+from typing import Dict, Iterator, Optional, Sequence
 
 from repro.webgraph.topics import TopicNode
 

@@ -13,11 +13,11 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence
+from typing import Mapping, Optional
 
 import numpy as np
 
-from .vocabulary import TermDistribution, Vocabulary
+from .vocabulary import Vocabulary
 
 
 @dataclass

@@ -12,8 +12,8 @@ and accumulates simulated latency so experiments can report a crawl
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -86,9 +86,17 @@ class Fetcher:
         self.simulate_failures = simulate_failures
         self.stats = FetchStats()
         self._rng = np.random.default_rng(failure_seed)
+        # The simulated failure/latency stream and the stats counters are
+        # shared mutable state; the batched engine fetches through a thread
+        # pool, so draws are serialised (the simulation is CPU-only anyway).
+        self._lock = threading.Lock()
 
     def fetch(self, url: str) -> FetchResult:
-        """Attempt to fetch *url* once."""
+        """Attempt to fetch *url* once (thread-safe)."""
+        with self._lock:
+            return self._fetch_locked(url)
+
+    def _fetch_locked(self, url: str) -> FetchResult:
         normalized = normalize_url(url)
         host = host_of(normalized)
         if not self.web.has_page(normalized):

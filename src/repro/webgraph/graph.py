@@ -37,7 +37,7 @@ from typing import Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
-from .documents import Document, DocumentGenerator
+from .documents import DocumentGenerator
 from .servers import ServerPool, default_server_name
 from .topics import TopicNode, default_topic_tree, sibling_paths
 from .urls import make_url, normalize_url, server_sid, url_oid
@@ -595,12 +595,18 @@ class SyntheticWebBuilder:
         return community[min(index, len(community) - 1)]
 
     def _maybe_break_links(self, page: WebPage) -> None:
-        """Replace a fraction of links with dead URLs (404 targets)."""
+        """Replace a fraction of links with dead URLs (404 targets).
+
+        The dead path is derived from the stable 64-bit URL hash — the
+        builtin ``hash`` is randomised per process (PYTHONHASHSEED), which
+        would break the promise that webs are deterministic functions of
+        the seed.
+        """
         config = self.config
         for i, target in enumerate(page.out_links):
             if self.rng.random() < config.dead_link_fraction:
                 page.out_links[i] = normalize_url(
-                    f"http://{page.server}/dead/{abs(hash(target)) % 10_000}.html"
+                    f"http://{page.server}/dead/{url_oid(target) % 10_000}.html"
                 )
 
     # -- sampling helpers ----------------------------------------------------------------

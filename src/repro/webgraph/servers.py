@@ -10,7 +10,7 @@ with a deterministic-per-seed latency and failure profile.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 
@@ -61,6 +61,17 @@ class ServerPool:
 
     def __len__(self) -> int:
         return len(self.profiles)
+
+    def reseed(self, seed: int) -> None:
+        """Reset the failure/latency stream to a deterministic state.
+
+        The pool's generator is shared by every crawl over the same web, so
+        without reseeding, a crawl's failure pattern depends on how many
+        fetches *previous* crawls performed.  Experiments that compare runs
+        (serial vs. batched, focused vs. unfocused) reseed per crawl so the
+        stream is a function of the crawl's own seed only.
+        """
+        self.rng = np.random.default_rng(seed)
 
     # -- simulation -------------------------------------------------------------
     def simulate_fetch(self, name: str) -> tuple[bool, float]:

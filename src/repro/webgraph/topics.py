@@ -10,7 +10,7 @@ only its generated text, exactly as a real crawler only sees HTML.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Sequence
+from typing import Iterator, Optional
 
 ROOT_NAME = "root"
 

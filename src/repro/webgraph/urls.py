@@ -10,7 +10,13 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from functools import lru_cache
 from urllib.parse import urlsplit, urlunsplit
+
+#: Cache capacity for the pure URL functions below.  A crawl touches the
+#: same URLs dozens of times (frontier membership, link rows, hashing);
+#: the caches turn those repeats into dict hits while staying bounded.
+_URL_CACHE_SIZE = 1 << 17
 
 
 def _hash64(text: str) -> int:
@@ -19,6 +25,7 @@ def _hash64(text: str) -> int:
     return int.from_bytes(digest, "big")
 
 
+@lru_cache(maxsize=_URL_CACHE_SIZE)
 def normalize_url(url: str) -> str:
     """Canonicalise a URL: lowercase scheme/host, strip fragments, default paths.
 
@@ -37,15 +44,18 @@ def normalize_url(url: str) -> str:
     return urlunsplit((scheme, netloc, path, parts.query, ""))
 
 
+@lru_cache(maxsize=_URL_CACHE_SIZE)
 def url_oid(url: str) -> int:
     """64-bit object id of a page URL (the paper's ``oid``)."""
     return _hash64(normalize_url(url))
 
 
+@lru_cache(maxsize=_URL_CACHE_SIZE)
 def host_of(url: str) -> str:
     return urlsplit(normalize_url(url)).netloc
 
 
+@lru_cache(maxsize=_URL_CACHE_SIZE)
 def server_sid(url_or_host: str) -> int:
     """64-bit server id (the paper's ``sid``), derived from the host name.
 

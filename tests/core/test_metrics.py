@@ -1,6 +1,5 @@
 """Tests for the evaluation metrics (harvest rate, coverage, distances, co-topics)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -1,0 +1,205 @@
+"""Equivalence and behaviour tests for the batched crawl engine.
+
+The batched pipeline must be a pure *execution strategy* change:
+
+* at ``batch_size=1`` it visits the same pages in the same order with
+  bit-for-bit identical relevance values as the reference serial loop;
+* at larger K the interleaving changes, but on a bounded web the crawl
+  converges to exactly the same visited set;
+* the incremental distiller must agree with a full-table recomputation.
+"""
+
+import pytest
+
+from repro.classifier.tokenizer import term_frequencies
+from repro.core.schema import create_focus_database
+from repro.crawler.engine import CrawlerConfig, OutcomeLRU
+from repro.crawler.focused import FocusedCrawler
+from repro.distiller.hits import weighted_hits
+from repro.webgraph.fetch import Fetcher
+
+GOOD = "recreation/cycling"
+
+
+def run_crawl(
+    small_web,
+    trained_model,
+    taxonomy,
+    seeds,
+    simulate_failures=True,
+    **config_kwargs,
+):
+    from repro.classifier.training import ModelInstaller
+
+    database = create_focus_database(buffer_pool_pages=512)
+    ModelInstaller(database).install(trained_model)
+    # The server farm's failure stream is shared state on the web graph;
+    # reseed per run so every crawl sees the identical stream.
+    small_web.servers.reseed(0)
+    fetcher = Fetcher(small_web, failure_seed=0, simulate_failures=simulate_failures)
+    config = CrawlerConfig(**config_kwargs)
+    crawler = FocusedCrawler(fetcher, trained_model, taxonomy, database, config)
+    crawler.add_seeds(seeds)
+    trace = crawler.crawl()
+    return crawler, database, trace
+
+
+@pytest.fixture(scope="module")
+def crawl_seeds(small_web):
+    return small_web.keyword_seed_pages(GOOD, count=8)
+
+
+class TestSerialBatchedEquivalence:
+    def test_k1_batched_matches_serial_bit_for_bit(
+        self, small_web, trained_model, taxonomy, crawl_seeds
+    ):
+        """batch_size=1 reproduces the serial loop exactly — URLs, relevance
+        floats, failures, and distillation cadence."""
+        kwargs = dict(max_pages=120, distill_every=50)
+        _, serial_db, serial = run_crawl(
+            small_web, trained_model, taxonomy, crawl_seeds, **kwargs
+        )
+        _, batched_db, batched = run_crawl(
+            small_web, trained_model, taxonomy, crawl_seeds,
+            engine="batched", batch_size=1, **kwargs,
+        )
+        assert serial.fetched_urls == batched.fetched_urls
+        assert serial.relevance_series() == batched.relevance_series()  # bitwise
+        assert serial.failed_urls == batched.failed_urls
+        assert serial.distillations == batched.distillations
+        assert len(serial_db.table("CRAWL")) == len(batched_db.table("CRAWL"))
+        assert len(serial_db.table("LINK")) == len(batched_db.table("LINK"))
+
+    def test_k1_link_table_state_identical(
+        self, small_web, trained_model, taxonomy, crawl_seeds
+    ):
+        """Buffered link writes leave the same final LINK rows as serial."""
+        kwargs = dict(max_pages=80, distill_every=0)
+        _, serial_db, _ = run_crawl(
+            small_web, trained_model, taxonomy, crawl_seeds, **kwargs
+        )
+        _, batched_db, _ = run_crawl(
+            small_web, trained_model, taxonomy, crawl_seeds,
+            engine="batched", batch_size=1, **kwargs,
+        )
+        serial_rows = sorted(serial_db.table("LINK").rows())
+        batched_rows = sorted(batched_db.table("LINK").rows())
+        assert serial_rows == batched_rows
+
+    def test_k8_converges_to_same_crawl_set(
+        self, small_web, trained_model, taxonomy, crawl_seeds
+    ):
+        """On a bounded web a batched crawl visits exactly the serial set."""
+        kwargs = dict(max_pages=10_000, distill_every=0, simulate_failures=False,
+                      stagnation_patience=10_000)
+        _, _, serial = run_crawl(small_web, trained_model, taxonomy, crawl_seeds, **kwargs)
+        _, _, batched = run_crawl(
+            small_web, trained_model, taxonomy, crawl_seeds,
+            batch_size=8, fetch_workers=1, **kwargs,
+        )
+        assert serial.stagnated and batched.stagnated  # frontier exhausted
+        assert serial.visited_set() == batched.visited_set()
+
+    def test_fetch_worker_pool_is_deterministic(
+        self, small_web, trained_model, taxonomy, crawl_seeds
+    ):
+        """With a deterministic web, the thread-pool fetch stage returns
+        results in checkout order — worker count cannot change the crawl."""
+        kwargs = dict(max_pages=100, distill_every=40, simulate_failures=False)
+        _, _, one = run_crawl(
+            small_web, trained_model, taxonomy, crawl_seeds,
+            batch_size=8, fetch_workers=1, **kwargs,
+        )
+        _, _, eight = run_crawl(
+            small_web, trained_model, taxonomy, crawl_seeds,
+            batch_size=8, fetch_workers=8, **kwargs,
+        )
+        assert one.fetched_urls == eight.fetched_urls
+        assert one.relevance_series() == eight.relevance_series()
+
+    def test_batched_relevance_matches_reference_classifier(
+        self, small_web, trained_model, taxonomy, crawl_seeds
+    ):
+        """The batch classifier path records Equation-3 relevance bit for bit."""
+        _, _, batched = run_crawl(
+            small_web, trained_model, taxonomy, crawl_seeds,
+            max_pages=60, distill_every=0, batch_size=8, simulate_failures=False,
+        )
+        for visit in batched.visits[:40]:
+            frequencies = term_frequencies(small_web.page(visit.url).tokens)
+            assert visit.relevance == trained_model.relevance(frequencies)
+            assert visit.best_leaf_cid == trained_model.best_leaf(frequencies)
+
+
+class TestIncrementalDistillation:
+    def test_incremental_agrees_with_full_recomputation(
+        self, small_web, trained_model, taxonomy, crawl_seeds
+    ):
+        """Engine distillation over the delta cache == full LINK-table HITS."""
+        crawler, _, trace = run_crawl(
+            small_web, trained_model, taxonomy, crawl_seeds,
+            max_pages=120, distill_every=40, batch_size=8,
+        )
+        assert trace.distillations >= 2
+        # A fresh run folds the rounds recorded since the last in-crawl
+        # distillation into the cached adjacency before scoring.
+        incremental = crawler.run_distillation()
+        full = weighted_hits(
+            crawler._links_from_table(),
+            relevance=crawler._relevance_map(),
+            rho=crawler.config.rho,
+            max_iterations=crawler.config.distill_iterations,
+        )
+        assert set(incremental.hub_scores) == set(full.hub_scores)
+        assert set(incremental.authority_scores) == set(full.authority_scores)
+        for oid, score in full.hub_scores.items():
+            assert incremental.hub_scores[oid] == pytest.approx(score, abs=1e-9)
+        for oid, score in full.authority_scores.items():
+            assert incremental.authority_scores[oid] == pytest.approx(score, abs=1e-9)
+
+
+class TestEngineConfig:
+    def test_invalid_engine_mode_rejected(self, small_web, trained_model, taxonomy):
+        with pytest.raises(ValueError):
+            run_crawl(small_web, trained_model, taxonomy, [], engine="warp")
+
+    def test_batch_size_must_be_positive(self, small_web, trained_model, taxonomy):
+        with pytest.raises(ValueError):
+            run_crawl(small_web, trained_model, taxonomy, [], batch_size=0)
+
+    def test_auto_mode_picks_batched_for_k_greater_than_one(
+        self, small_web, trained_model, taxonomy, crawl_seeds
+    ):
+        crawler, _, _ = run_crawl(
+            small_web, trained_model, taxonomy, crawl_seeds, max_pages=10, batch_size=4
+        )
+        assert crawler.engine.batched
+
+    def test_cache_stats_exposed(self, small_web, trained_model, taxonomy, crawl_seeds):
+        crawler, _, _ = run_crawl(
+            small_web, trained_model, taxonomy, crawl_seeds,
+            max_pages=30, batch_size=4, simulate_failures=False,
+        )
+        stats = crawler.engine.cache_stats()
+        assert stats["misses"] == 30  # every page classified once
+        assert stats["entries"] == 30
+
+
+class TestOutcomeLRU:
+    def test_put_get_and_eviction(self):
+        cache = OutcomeLRU(capacity=2)
+        cache.put(1, "a")
+        cache.put(2, "b")
+        assert cache.get(1) == "a"   # refreshes 1
+        cache.put(3, "c")            # evicts 2 (least recent)
+        assert cache.get(2) is None
+        assert cache.get(1) == "a"
+        assert cache.get(3) == "c"
+        assert len(cache) == 2
+        assert cache.hits == 3 and cache.misses == 1
+
+    def test_zero_capacity_disables_cache(self):
+        cache = OutcomeLRU(capacity=0)
+        cache.put(1, "a")
+        assert cache.get(1) is None
+        assert len(cache) == 0

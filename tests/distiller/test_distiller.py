@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.schema import create_crawl_tables
 from repro.distiller.db_distiller import IndexLookupDistiller, JoinDistiller
-from repro.distiller.hits import DistillationResult, weighted_hits
+from repro.distiller.hits import weighted_hits
 from repro.distiller.weights import Link, assign_weights, backward_weight, forward_weight
 from repro.minidb import Database
 

@@ -1,0 +1,134 @@
+"""Tests for minidb's bulk mutation paths: atomic insert_many and update_rows."""
+
+import pytest
+
+from repro.minidb import Database, FLOAT, INTEGER, TEXT, make_schema
+from repro.minidb.errors import ConstraintError, SchemaError
+
+
+def make_table(db=None, primary_key=("k",)):
+    db = db or Database(buffer_pool_pages=64)
+    table = db.create_table(
+        "T",
+        make_schema(
+            ("k", INTEGER, False),
+            ("v", FLOAT),
+            ("s", TEXT),
+            primary_key=list(primary_key),
+        ),
+    )
+    return db, table
+
+
+class TestInsertManyAtomicity:
+    def test_returns_record_ids_in_order(self):
+        _, table = make_table()
+        rids = table.insert_many({"k": i, "v": float(i), "s": f"row{i}"} for i in range(5))
+        assert len(rids) == 5
+        for i, rid in enumerate(rids):
+            assert table.read(rid)[0] == i
+
+    def test_duplicate_key_within_batch_leaves_table_unchanged(self):
+        _, table = make_table()
+        table.insert({"k": 1, "v": 1.0, "s": "one"})
+        with pytest.raises(ConstraintError):
+            table.insert_many(
+                [
+                    {"k": 2, "v": 2.0, "s": "two"},
+                    {"k": 3, "v": 3.0, "s": "three"},
+                    {"k": 2, "v": 2.5, "s": "dup"},
+                ]
+            )
+        # Nothing from the failed batch is visible.
+        assert len(table) == 1
+        assert table.get_by_key((2,)) is None
+        assert table.get_by_key((3,)) is None
+
+    def test_conflict_with_existing_row_is_atomic(self):
+        _, table = make_table()
+        table.insert({"k": 7, "v": 7.0, "s": "seven"})
+        with pytest.raises(ConstraintError):
+            table.insert_many(
+                [
+                    {"k": 8, "v": 8.0, "s": "eight"},
+                    {"k": 7, "v": 0.0, "s": "conflict"},
+                ]
+            )
+        assert len(table) == 1
+        assert table.get_by_key((8,)) is None
+
+    def test_type_error_mid_batch_is_atomic(self):
+        _, table = make_table()
+        with pytest.raises(SchemaError):
+            table.insert_many(
+                [
+                    {"k": 1, "v": 1.0, "s": "ok"},
+                    {"k": 2, "v": "not-a-float", "s": "bad"},
+                ]
+            )
+        assert len(table) == 0
+
+    def test_indexes_consistent_after_bulk_insert(self):
+        _, table = make_table()
+        table.create_index("t_s", ["s"], kind="hash")
+        table.insert_many({"k": i, "v": 0.0, "s": "even" if i % 2 == 0 else "odd"} for i in range(10))
+        assert len(table.lookup("t_s", ("even",))) == 5
+        assert len(table.lookup("t_s", ("odd",))) == 5
+
+    def test_empty_batch_is_noop(self):
+        _, table = make_table()
+        assert table.insert_many([]) == []
+        assert len(table) == 0
+
+
+class TestUpdateRows:
+    def test_updates_values_and_returns_count(self):
+        _, table = make_table()
+        rids = table.insert_many({"k": i, "v": float(i), "s": "x"} for i in range(4))
+        updated = table.update_rows([(rid, {"v": 9.5}) for rid in rids])
+        assert updated == 4
+        assert all(table.read(rid)[1] == 9.5 for rid in rids)
+
+    def test_indexed_column_change_moves_buckets(self):
+        _, table = make_table()
+        table.create_index("t_s", ["s"], kind="hash")
+        rids = table.insert_many({"k": i, "v": 0.0, "s": "frontier"} for i in range(6))
+        table.update_rows([(rid, {"s": "visited"}) for rid in rids[:4]])
+        assert len(table.lookup("t_s", ("frontier",))) == 2
+        assert len(table.lookup("t_s", ("visited",))) == 4
+
+    def test_unindexed_column_change_skips_index_maintenance(self):
+        _, table = make_table()
+        index = table.create_index("t_s", ["s"], kind="hash")
+        rids = table.insert_many({"k": i, "v": 0.0, "s": "a"} for i in range(3))
+        before = index.probe_count
+        table.update_rows([(rid, {"v": 1.25}) for rid in rids])
+        assert index.probe_count == before
+        assert len(table.lookup("t_s", ("a",))) == 3
+
+    def test_text_growth_updates_page_accounting(self):
+        db, table = make_table()
+        [rid] = table.insert_many([{"k": 1, "v": 0.0, "s": "short"}])
+        page = db.buffer_pool.get_page(rid.page_id)
+        used_before = page.used_bytes
+        table.update_rows([(rid, {"s": "a much longer replacement string"})])
+        grown = len("a much longer replacement string") - len("short")
+        assert page.used_bytes == used_before + grown
+
+    def test_primary_key_change_falls_back_to_checked_path(self):
+        _, table = make_table()
+        rids = table.insert_many([{"k": 1, "v": 0.0, "s": "a"}, {"k": 2, "v": 0.0, "s": "b"}])
+        with pytest.raises(ConstraintError):
+            table.update_rows([(rids[0], {"k": 2})])
+        table.update_rows([(rids[0], {"k": 3})])
+        assert table.get_by_key((3,)) is not None
+
+    def test_unknown_column_raises(self):
+        _, table = make_table()
+        rids = table.insert_many([{"k": 1, "v": 0.0, "s": "a"}])
+        with pytest.raises(SchemaError):
+            table.update_rows([(rids[0], {"nope": 1})])
+
+    def test_empty_updates_is_noop(self):
+        _, table = make_table()
+        assert table.update_rows([]) == 0

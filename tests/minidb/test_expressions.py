@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.minidb import QueryError, and_, col, func, in_set, is_null, lit, not_, or_
-from repro.minidb.expressions import ColumnRef
 
 
 ROW = {"a": 5, "b": 2.5, "name": "hub", "missing": None, "CRAWL.oid": 77}

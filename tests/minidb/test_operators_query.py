@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.minidb import Aggregate, Database, FLOAT, INTEGER, QueryError, TEXT, col, lit, make_schema
+from repro.minidb import Aggregate, Database, FLOAT, INTEGER, QueryError, col, lit, make_schema
 from repro.minidb.operators import (
     Distinct,
     Filter,

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.taxonomy.examples import ExampleDocument, ExampleStore, examples_from_documents, generate_examples
+from repro.taxonomy.examples import ExampleDocument, examples_from_documents, generate_examples
 from repro.taxonomy.tree import ROOT_CID, NodeMark, TopicTaxonomy
-from repro.webgraph.topics import build_tree, default_topic_tree
+from repro.webgraph.topics import default_topic_tree
 
 
 @pytest.fixture()
