@@ -1,5 +1,6 @@
 """core: the Focus system facade, configuration, schemata, and evaluation metrics."""
 
+from .checkpoint import CheckpointManager, CrawlCheckpoint
 from .config import FocusConfig
 from .metrics import (
     CoTopic,
@@ -17,8 +18,10 @@ from .system import CrawlResult, FocusSystem
 
 __all__ = [
     "CRAWL_STATUSES",
+    "CheckpointManager",
     "CoTopic",
     "CoveragePoint",
+    "CrawlCheckpoint",
     "CrawlResult",
     "FocusConfig",
     "FocusSystem",

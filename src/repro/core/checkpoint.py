@@ -1,0 +1,131 @@
+"""Crawl checkpoints: pause, kill, and resume long-running crawls.
+
+The paper's systems argument is that a focused crawl is a *long-running,
+pausable* process precisely because all of its state lives in the
+database.  This module closes the loop for our engine: a
+:class:`CheckpointManager` rides the engine's round boundaries and saves,
+inside the database's own atomic snapshot, the small amount of state
+that lives *outside* the tables —
+
+* the engine's round counters, per-oid relevance map, and stagnation
+  streak, plus the trace accumulated so far;
+* the frontier's entries/priorities, per-server load, and discovery
+  watermark;
+* the positions of the simulated-network RNG streams (fetcher and
+  server pool), so a resumed crawl sees the identical failure/latency
+  sequence the uninterrupted crawl would have seen;
+* the incremental distiller's LINK high-water mark and pending weight
+  updates (the cached adjacency itself is rebuilt from the recovered
+  heap).
+
+Because the blob is stored by :meth:`repro.minidb.Database.checkpoint`
+in the same atomically renamed snapshot record as the page directory, a
+crash can never publish crawl state and table state from different
+moments.  Resume opens the database pinned to that snapshot
+(``replay_wal=False`` discards the redo tail of work the engine will
+redo deterministically) and rebuilds the crawler around it; a resumed
+crawl then visits exactly the pages — with bit-identical relevance
+floats — that the uninterrupted crawl would have visited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.crawler.focused import CrawlerConfig, FocusedCrawler
+from repro.minidb import Database
+from repro.minidb.errors import StorageError
+from repro.webgraph.fetch import Fetcher
+from repro.webgraph.servers import ServerPool
+
+
+@dataclass
+class CrawlCheckpoint:
+    """The crawl-level state stored inside a database snapshot."""
+
+    config: CrawlerConfig
+    focused: bool
+    seeds: List[str]
+    good_topics: List[str]
+    fetch_failure_seed: int
+    engine_state: Dict[str, Any]
+    frontier_state: Dict[str, Any]
+    fetcher_state: Dict[str, Any]
+    server_rng_state: Dict[str, Any]
+    checkpoints_saved: int = 0
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+
+class CheckpointManager:
+    """Snapshots a running crawl into its (durable) database.
+
+    Attach one to a crawl by assigning it to ``engine.checkpointer`` and
+    setting ``CrawlerConfig.checkpoint_every``; the engine then calls
+    :meth:`save` after every N successful fetches, at a round boundary
+    where all write buffers are flushed.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        crawler: FocusedCrawler,
+        fetcher: Fetcher,
+        servers: ServerPool,
+        seeds: List[str],
+        good_topics: List[str],
+        fetch_failure_seed: int = 0,
+        focused: bool = True,
+    ) -> None:
+        if not database.backend.persistent:
+            raise StorageError(
+                "crawl checkpoints need a durable database; open one with Database.open(path)"
+            )
+        self.database = database
+        self.crawler = crawler
+        self.fetcher = fetcher
+        self.servers = servers
+        self.seeds = list(seeds)
+        self.good_topics = list(good_topics)
+        self.fetch_failure_seed = fetch_failure_seed
+        self.focused = focused
+        self.checkpoints_saved = 0
+
+    def attach(self) -> None:
+        """Register with the crawl engine as its checkpoint sink."""
+        self.crawler.engine.checkpointer = self
+
+    def save(self) -> None:
+        """Checkpoint the database with the current crawl state riding along."""
+        self.checkpoints_saved += 1
+        self.database.checkpoint(app_state=self._crawl_state())
+
+    def _crawl_state(self) -> CrawlCheckpoint:
+        engine = self.crawler.engine
+        return CrawlCheckpoint(
+            config=self.crawler.config,
+            focused=self.focused,
+            seeds=self.seeds,
+            good_topics=self.good_topics,
+            fetch_failure_seed=self.fetch_failure_seed,
+            engine_state=engine.state_snapshot(),
+            frontier_state=self.crawler.frontier.state_snapshot(),
+            fetcher_state=self.fetcher.state_snapshot(),
+            server_rng_state=self.servers.rng_state(),
+            checkpoints_saved=self.checkpoints_saved,
+        )
+
+    @staticmethod
+    def load(path: str, buffer_pool_pages: int = 256) -> tuple[Database, CrawlCheckpoint]:
+        """Recover the database pinned to its last checkpoint, plus the crawl state.
+
+        Post-checkpoint WAL records are discarded (not replayed): the
+        resumed engine re-executes that work deterministically, and
+        replaying it would leave the tables ahead of the engine state.
+        """
+        database = Database.open(path, buffer_pool_pages=buffer_pool_pages, replay_wal=False)
+        state = database.app_state()
+        if not isinstance(state, CrawlCheckpoint):
+            database.close()
+            raise StorageError(f"{path!r} holds no crawl checkpoint to resume from")
+        return database, state

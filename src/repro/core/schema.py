@@ -21,6 +21,8 @@ The classifier's own tables (``TAXONOMY``, ``DOCUMENT``, ``STAT_<c0>``,
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.minidb import Database, FLOAT, INTEGER, TEXT, make_schema
 
 #: Allowed values of CRAWL.status.
@@ -75,8 +77,18 @@ def create_crawl_tables(database: Database) -> None:
             )
 
 
-def create_focus_database(buffer_pool_pages: int = 2048) -> Database:
-    """A fresh database with the crawl tables created."""
-    database = Database(buffer_pool_pages=buffer_pool_pages)
+def create_focus_database(
+    buffer_pool_pages: int = 2048, path: Optional[str] = None
+) -> Database:
+    """A database with the crawl tables created.
+
+    With *path* the database is durable (segment file + WAL at that
+    directory) and an existing directory is recovered, so crawls survive
+    restarts; without it the store is in-memory, as in the seed.
+    """
+    if path is not None:
+        database = Database.open(path, buffer_pool_pages=buffer_pool_pages)
+    else:
+        database = Database(buffer_pool_pages=buffer_pool_pages)
     create_crawl_tables(database)
     return database

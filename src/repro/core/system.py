@@ -36,6 +36,7 @@ from repro.webgraph.graph import SyntheticWebBuilder, WebGraph
 from repro.webgraph.urls import normalize_url
 
 from . import metrics
+from .checkpoint import CheckpointManager
 from .config import FocusConfig
 from .schema import create_focus_database
 
@@ -197,13 +198,40 @@ class FocusSystem:
         crawler_config: Optional[CrawlerConfig] = None,
         database: Optional[Database] = None,
         fetch_failure_seed: int = 0,
+        checkpoint_dir: Optional[str] = None,
+        resume_from: Optional[str] = None,
     ) -> CrawlResult:
         """Run one crawl (focused by default) and return its result bundle.
 
         Each crawl gets its own database unless one is supplied, so repeated
         runs (reference vs. test crawls, focused vs. unfocused) never share
         frontier state.
+
+        *checkpoint_dir* makes the crawl durable and resumable: its state
+        goes to a segment-file/WAL database at that directory and a
+        checkpoint is saved at the start and then every
+        ``CrawlerConfig.checkpoint_every`` successful fetches.  A killed
+        crawl is continued with ``crawl(resume_from=checkpoint_dir)`` on a
+        system built from the same seeds, and visits exactly the pages —
+        with identical relevance floats — that the uninterrupted crawl
+        would have visited.
         """
+        if resume_from is not None:
+            conflicting = {
+                "seeds": seeds is not None,
+                "crawler_config": crawler_config is not None,
+                "database": database is not None,
+                "checkpoint_dir": checkpoint_dir is not None,
+                "focused": focused is not True,
+                "fetch_failure_seed": fetch_failure_seed != 0,
+            }
+            rejected = sorted(name for name, given in conflicting.items() if given)
+            if rejected:
+                raise ValueError(
+                    f"resume_from restores {rejected} from the checkpoint; "
+                    "do not pass them explicitly (only max_pages may be overridden)"
+                )
+            return self._resume_crawl(resume_from, max_pages)
         if self.model is None:
             self.train()
         # Copy the system-level crawler config (including the engine's
@@ -211,7 +239,17 @@ class FocusSystem:
         config = crawler_config or dataclasses.replace(self.config.crawler)
         if max_pages is not None:
             config.max_pages = max_pages
-        database = database or create_focus_database(self.config.buffer_pool_pages)
+        if database is None:
+            database = create_focus_database(
+                self.config.buffer_pool_pages, path=checkpoint_dir
+            )
+        if checkpoint_dir is not None and database.app_state() is not None:
+            database.close()
+            raise ValueError(
+                f"{checkpoint_dir!r} already holds a crawl checkpoint; "
+                "continue it with crawl(resume_from=...) or point checkpoint_dir "
+                "at a fresh directory"
+            )
         if not database.has_table("TAXONOMY"):
             # The crawl database also carries the classifier tables, as in the
             # paper's single-DB architecture (and so monitoring SQL can join
@@ -225,6 +263,21 @@ class FocusSystem:
         crawler = crawler_cls(fetcher, self.model, self.taxonomy, database, config)
         seed_urls = [normalize_url(u) for u in (seeds if seeds is not None else self.default_seeds())]
         crawler.add_seeds(seed_urls)
+        if checkpoint_dir is not None:
+            manager = CheckpointManager(
+                database,
+                crawler,
+                fetcher,
+                self.web.servers,
+                seeds=seed_urls,
+                good_topics=list(self.config.good_topics),
+                fetch_failure_seed=fetch_failure_seed,
+                focused=focused,
+            )
+            manager.attach()
+            # An immediate checkpoint makes the crawl resumable from page
+            # zero — a kill before the first periodic save loses nothing.
+            manager.save()
         trace = crawler.crawl()
         return CrawlResult(
             trace=trace,
@@ -234,4 +287,49 @@ class FocusSystem:
             taxonomy=self.taxonomy,
             seeds=seed_urls,
             good_topics=list(self.config.good_topics),
+        )
+
+    def _resume_crawl(self, path: str, max_pages: Optional[int] = None) -> CrawlResult:
+        """Continue a killed crawl from its last checkpoint at *path*.
+
+        The system must be built over the same web (same seeds/config) as
+        the original run; everything else — tables, frontier, engine
+        counters, RNG stream positions — comes from the checkpoint.
+        """
+        database, checkpoint = CheckpointManager.load(
+            path, buffer_pool_pages=self.config.buffer_pool_pages
+        )
+        if self.model is None:
+            self.train()
+        config = checkpoint.config
+        if max_pages is not None:
+            config.max_pages = max_pages
+        fetcher = Fetcher(self.web, failure_seed=checkpoint.fetch_failure_seed)
+        fetcher.restore_state(checkpoint.fetcher_state)
+        self.web.servers.restore_rng(checkpoint.server_rng_state)
+        crawler_cls = FocusedCrawler if checkpoint.focused else UnfocusedCrawler
+        crawler = crawler_cls(fetcher, self.model, self.taxonomy, database, config)
+        crawler.frontier.restore_state(checkpoint.frontier_state)
+        crawler.engine.restore_state(checkpoint.engine_state)
+        manager = CheckpointManager(
+            database,
+            crawler,
+            fetcher,
+            self.web.servers,
+            seeds=list(checkpoint.seeds),
+            good_topics=list(checkpoint.good_topics),
+            fetch_failure_seed=checkpoint.fetch_failure_seed,
+            focused=checkpoint.focused,
+        )
+        manager.checkpoints_saved = checkpoint.checkpoints_saved
+        manager.attach()
+        trace = crawler.crawl()
+        return CrawlResult(
+            trace=trace,
+            database=database,
+            crawler=crawler,
+            web=self.web,
+            taxonomy=self.taxonomy,
+            seeds=list(checkpoint.seeds),
+            good_topics=list(checkpoint.good_topics),
         )

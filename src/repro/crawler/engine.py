@@ -97,6 +97,9 @@ class CrawlerConfig:
     engine: str = "auto"
     #: Capacity of the batched path's LRU of classification outcomes (by oid).
     posterior_cache_size: int = 4096
+    #: Save a crawl checkpoint every this many successful fetches (0 disables;
+    #: requires a durable database and an attached checkpoint manager).
+    checkpoint_every: int = 0
 
 
 @dataclass
@@ -233,8 +236,14 @@ class CrawlEngine:
         self.config = config
         self.frontier = frontier
         self.trace = trace
+        #: Checkpoint sink (e.g. :class:`repro.core.checkpoint.CheckpointManager`);
+        #: when set and ``config.checkpoint_every`` is positive, the engine
+        #: calls ``checkpointer.save()`` at round boundaries.
+        self.checkpointer = None
         self._tick = 0
         self._since_distillation = 0
+        self._since_checkpoint = 0
+        self._stagnation_misses = 0
         #: oid -> measured relevance of every visited page, in visit order.
         self._relevance: Dict[int, float] = {}
         self._outcome_cache = OutcomeLRU(config.posterior_cache_size)
@@ -318,19 +327,67 @@ class CrawlEngine:
             "entries": len(self._outcome_cache),
         }
 
+    # -- checkpointing ----------------------------------------------------------------
+    def state_snapshot(self) -> Dict[str, object]:
+        """Everything the engine needs to continue a crawl after a restart.
+
+        Captured at a round boundary: link/CRAWL write buffers are empty,
+        so the tables plus this dict are the complete crawl state.  The
+        outcome LRU persists only its counters — its entries are a pure
+        cache, and recomputing a posterior yields bit-identical floats.
+        """
+        return {
+            "tick": self._tick,
+            "since_distillation": self._since_distillation,
+            "since_checkpoint": self._since_checkpoint,
+            "stagnation_misses": self._stagnation_misses,
+            "relevance": dict(self._relevance),
+            "outcome_cache": {
+                "hits": self._outcome_cache.hits,
+                "misses": self._outcome_cache.misses,
+            },
+            "delta_cache": (
+                self._incremental.cache.state_snapshot()
+                if self._incremental is not None
+                else None
+            ),
+            "trace": self.trace,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Adopt a checkpointed engine state (the database must already be recovered)."""
+        self._tick = state["tick"]
+        self._since_distillation = state["since_distillation"]
+        self._since_checkpoint = state["since_checkpoint"]
+        self._stagnation_misses = state["stagnation_misses"]
+        self._relevance = dict(state["relevance"])
+        self._outcome_cache = OutcomeLRU(self.config.posterior_cache_size)
+        self._outcome_cache.hits = state["outcome_cache"]["hits"]
+        self._outcome_cache.misses = state["outcome_cache"]["misses"]
+        if state["delta_cache"] is not None:
+            self._incremental_distiller().cache.restore_state(state["delta_cache"])
+        # The trace object is shared with the driving crawler; refill it in
+        # place instead of rebinding so every reference stays live.
+        saved: CrawlTrace = state["trace"]
+        self.trace.visits[:] = saved.visits
+        self.trace.fetched_urls[:] = saved.fetched_urls
+        self.trace.failed_urls[:] = saved.failed_urls
+        self.trace.distillations = saved.distillations
+        self.trace.stagnated = saved.stagnated
+        self.trace.last_distillation = saved.last_distillation
+
     # -- serial mode -----------------------------------------------------------------
     def _run_serial(self, budget: int) -> CrawlTrace:
-        misses = 0
         while self.trace.pages_fetched < budget:
             url = self.frontier.pop_next()
             if url is None:
                 self.trace.stagnated = True
                 break
             if self._visit_serial(url):
-                misses = 0
+                self._stagnation_misses = 0
             else:
-                misses += 1
-                if misses >= self.config.stagnation_patience:
+                self._stagnation_misses += 1
+                if self._stagnation_misses >= self.config.stagnation_patience:
                     self.trace.stagnated = True
                     break
             if (
@@ -338,6 +395,7 @@ class CrawlEngine:
                 and self._since_distillation >= self.config.distill_every
             ):
                 self.run_distillation()
+            self._maybe_checkpoint()
         return self.trace
 
     def _visit_serial(self, url: str) -> bool:
@@ -387,7 +445,6 @@ class CrawlEngine:
         config = self.config
         # Create the delta cache up front so every flushed round feeds it.
         self._incremental_distiller()
-        misses = 0
         stop = False
         while not stop and self.trace.pages_fetched < budget:
             round_size = min(config.batch_size, budget - self.trace.pages_fetched)
@@ -401,13 +458,13 @@ class CrawlEngine:
             for url, result in zip(urls, results):
                 if result.status is FetchStatus.OK:
                     fetched.append((url, result))
-                    misses = 0
+                    self._stagnation_misses = 0
                     continue
                 permanent = result.status is FetchStatus.NOT_FOUND
                 self.frontier.record_failure(url, config.max_retries, permanent=permanent)
                 self.trace.failed_urls.append(url)
-                misses += 1
-                if misses >= config.stagnation_patience:
+                self._stagnation_misses += 1
+                if self._stagnation_misses >= config.stagnation_patience:
                     self.trace.stagnated = True
                     stop = True
             outcomes = self._classify_stage(fetched)
@@ -422,6 +479,7 @@ class CrawlEngine:
                 and self._since_distillation >= config.distill_every
             ):
                 self.run_distillation()
+            self._maybe_checkpoint()
         return self.trace
 
     def _fetch_stage(self, urls: Sequence[str]) -> List[FetchResult]:
@@ -498,6 +556,22 @@ class CrawlEngine:
         )
         self.trace.fetched_urls.append(url)
         self._since_distillation += 1
+        self._since_checkpoint += 1
+
+    def _maybe_checkpoint(self) -> None:
+        """Save a resume point when one is due (round boundaries only).
+
+        The counter resets *before* the save so the persisted engine state
+        carries zero progress-toward-next-checkpoint, matching what a
+        resumed engine starts from.
+        """
+        if (
+            self.checkpointer is not None
+            and self.config.checkpoint_every
+            and self._since_checkpoint >= self.config.checkpoint_every
+        ):
+            self._since_checkpoint = 0
+            self.checkpointer.save()
 
     def _expand(self, out_links: Sequence[str], relevance: float, hard_accepts: bool) -> None:
         """Apply the focus rule to decide whether/with what priority to enqueue out-links."""

@@ -20,12 +20,11 @@ flushed once per round through ``insert_many`` / ``update_rows``.
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Any, Dict, Mapping, Optional
 
 from repro.minidb import Database
-from repro.minidb.pages import RecordId
+from repro.minidb.pages import PageId, RecordId
 from repro.webgraph.urls import normalize_url, server_sid, url_oid
 
 from .policies import CrawlOrdering, aggressive_discovery
@@ -73,7 +72,8 @@ class Frontier:
         self._entries: Dict[str, FrontierEntry] = {}
         self._server_load: Dict[int, int] = {}
         self._heap: list[tuple[tuple, int, str]] = []
-        self._discovered = itertools.count()
+        # A plain int (not itertools.count) so checkpoints can persist it.
+        self._next_discovered = 0
         # Round buffering (batched engine): pending CRAWL inserts/updates.
         self._buffering = False
         self._pending_new: list[FrontierEntry] = []
@@ -130,8 +130,9 @@ class Frontier:
             sid=sid,
             relevance=relevance,
             serverload=self._server_load.get(sid, 0),
-            discovered=next(self._discovered),
+            discovered=self._next_discovered,
         )
+        self._next_discovered += 1
         if self._buffering:
             self._pending_new.append(entry)
         else:
@@ -317,3 +318,50 @@ class Frontier:
         self._pending_new = []
         self._pending_changes = {}
         self._buffering = False
+
+    # -- checkpointing ------------------------------------------------------------------
+    def state_snapshot(self) -> Dict[str, Any]:
+        """Serialisable frontier state, captured at a round boundary.
+
+        Record ids are encoded as plain tuples; they stay valid across a
+        database recovery because the snapshot-plus-WAL scheme restores
+        heap pages (and therefore rid assignment) exactly.  Must not be
+        called while round buffering is active — buffered table writes
+        belong to an unfinished round.
+        """
+        if self._buffering or self._pending_new or self._pending_changes:
+            raise RuntimeError("cannot snapshot the frontier mid-round")
+        entry_fields = [f.name for f in fields(FrontierEntry) if f.name != "rid"]
+        return {
+            "entries": [
+                (
+                    {name: getattr(entry, name) for name in entry_fields},
+                    (
+                        (entry.rid.page_id.file_id, entry.rid.page_id.page_no, entry.rid.slot)
+                        if entry.rid is not None
+                        else None
+                    ),
+                )
+                for entry in self._entries.values()
+            ],
+            "server_load": dict(self._server_load),
+            "next_discovered": self._next_discovered,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Rebuild entries, server loads, and the priority heap from a snapshot.
+
+        The heap is rebuilt from current priorities; the original heap may
+        also have carried stale (lazily invalidated) entries, but those
+        are re-keyed on pop anyway, so checkout order is unchanged.
+        """
+        self._entries = {}
+        for field_map, rid in state["entries"]:
+            entry = FrontierEntry(**field_map)
+            if rid is not None:
+                file_id, page_no, slot = rid
+                entry.rid = RecordId(PageId(file_id, page_no), slot)
+            self._entries[entry.url] = entry
+        self._server_load = dict(state["server_load"])
+        self._next_discovered = state["next_discovered"]
+        self._rebuild_heap()

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Optional
 
 from repro.minidb import Database
-from repro.minidb.pages import RecordId
+from repro.minidb.pages import PageId, RecordId
 from repro.minidb.table import Table
 
 from .hits import DistillationResult, _normalize, weighted_hits
@@ -273,6 +273,43 @@ class LinkDeltaCache:
 
     def __len__(self) -> int:
         return len(self._links)
+
+    # -- checkpointing ------------------------------------------------------
+    def state_snapshot(self) -> dict:
+        """The cache's durable state: its high-water mark plus pending updates.
+
+        The cached links themselves are *not* serialised — they are a pure
+        function of the (recovered) heap below the watermark, so restore
+        rebuilds them with one bounded sequential scan.
+        """
+        return {
+            "watermark": self._watermark_page,
+            "updated": [
+                (rid.page_id.file_id, rid.page_id.page_no, rid.slot)
+                for rid in self._updated_rids
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild the adjacency from the heap up to the recorded watermark.
+
+        Rows touched after the watermark (or whose weights changed since
+        the last refresh) are re-read by the next :meth:`refresh`, exactly
+        as they would have been without the restart; insertion order is
+        ascending ``(page, slot)`` either way, so the refreshed edge list
+        — and therefore HITS' float summation order — is unchanged.
+        """
+        heap = self.table.heap
+        watermark = state["watermark"]
+        self._links = {}
+        if heap.page_count:
+            for rid, row in heap.scan_from(0, watermark + 1):
+                self._links[rid] = self._to_link(row)
+        self._watermark_page = watermark
+        self._updated_rids = {
+            RecordId(PageId(file_id, page_no), slot)
+            for file_id, page_no, slot in state["updated"]
+        }
 
 
 class IncrementalDistiller:

@@ -21,8 +21,10 @@ Typical use::
     rows = db.query("CRAWL").where(col("relevance") > lit(0.5)).run()
 """
 
+from .backend import DurableBackend, MemoryBackend, StorageBackend
 from .buffer_pool import BufferPool, IOStats
 from .database import Database
+from .wal import WriteAheadLog
 from .errors import (
     BufferPoolError,
     CatalogError,
@@ -64,11 +66,13 @@ __all__ = [
     "ConstraintError",
     "Database",
     "DEFAULT_PAGE_SIZE",
+    "DurableBackend",
     "Expression",
     "FLOAT",
     "HashIndex",
     "INTEGER",
     "IOStats",
+    "MemoryBackend",
     "MiniDBError",
     "OrderedIndex",
     "PageId",
@@ -78,10 +82,12 @@ __all__ = [
     "Schema",
     "SchemaError",
     "SQLSyntaxError",
+    "StorageBackend",
     "StorageError",
     "TEXT",
     "Table",
     "Trigger",
+    "WriteAheadLog",
     "and_",
     "col",
     "execute_sql",

@@ -1,0 +1,261 @@
+"""Pluggable page stores under the buffer pool: in-memory and durable.
+
+The buffer pool caches hot pages and counts transfers; where evicted
+pages *go* is the :class:`StorageBackend`'s business.  Two backends are
+provided:
+
+* :class:`MemoryBackend` — the original behaviour: evicted pages live in
+  a dict, nothing survives the process.  This is the default and keeps
+  the seed semantics (and I/O accounting) bit for bit.
+* :class:`DurableBackend` — pages are pickled into an append-only
+  *segment file*; a page directory maps each page id to its latest
+  image offset.  A logical :class:`~repro.minidb.wal.WriteAheadLog`
+  records every table mutation, and a checkpoint writes an atomic
+  snapshot (catalog metadata + page directory + WAL epoch) so
+  :meth:`repro.minidb.database.Database.open` can restore the last
+  checkpoint and replay the log over it.
+
+The segment file is never rewritten in place — superseded page images
+simply become garbage (compaction is a roadmap follow-on) — so a crash
+can at worst leave an unreferenced tail, never a corrupt directory.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional
+
+from .errors import BufferPoolError, StorageError
+from .pages import Page, PageId
+from .wal import (
+    SEGMENT_MAGIC,
+    WriteAheadLog,
+    dump_record,
+    load_record,
+    read_frame_at,
+    write_frame,
+)
+
+#: File names inside a durable database directory.
+SEGMENT_FILE = "segments.dat"
+WAL_FILE = "wal.dat"
+SNAPSHOT_FILE = "snapshot.dat"
+
+
+class StorageBackend:
+    """Where pages live when they are not resident in the buffer pool."""
+
+    #: Whether this backend can persist state across processes.
+    persistent = False
+
+    # -- page transfer ----------------------------------------------------
+    def load_page(self, page_id: PageId) -> Page:
+        """Fetch a page image (a physical read); raises if unknown."""
+        raise NotImplementedError
+
+    def store_page(self, page: Page) -> None:
+        """Take ownership of an evicted page (a physical write if dirty)."""
+        raise NotImplementedError
+
+    def write_back(self, page: Page) -> None:
+        """Persist a resident page's image without evicting it (flush)."""
+        raise NotImplementedError
+
+    def remove_page(self, page_id: PageId) -> None:
+        """Forget a page entirely (table drop/truncate)."""
+        raise NotImplementedError
+
+    def contains(self, page_id: PageId) -> bool:
+        raise NotImplementedError
+
+    def page_count(self) -> int:
+        raise NotImplementedError
+
+    # -- durability --------------------------------------------------------
+    @property
+    def wal_bytes_written(self) -> int:
+        return 0
+
+    @property
+    def pages_flushed(self) -> int:
+        return 0
+
+    def log(self, record: tuple) -> None:
+        """Append one logical mutation record to the WAL (no-op in memory)."""
+
+    def close(self) -> None:
+        """Release any file handles."""
+
+
+class MemoryBackend(StorageBackend):
+    """The seed behaviour: an in-memory dict of evicted pages.
+
+    What matters for the experiments is not persistence but the
+    *counting* of page transfers between the pool and this "disk".
+    """
+
+    persistent = False
+
+    def __init__(self) -> None:
+        self._pages: dict[PageId, Page] = {}
+
+    def load_page(self, page_id: PageId) -> Page:
+        try:
+            page = self._pages.pop(page_id)
+        except KeyError:
+            raise BufferPoolError(f"{page_id} does not exist") from None
+        return page
+
+    def store_page(self, page: Page) -> None:
+        self._pages[page.page_id] = page
+
+    def write_back(self, page: Page) -> None:
+        # Memory *is* the store: the resident object stays authoritative.
+        pass
+
+    def remove_page(self, page_id: PageId) -> None:
+        self._pages.pop(page_id, None)
+
+    def contains(self, page_id: PageId) -> bool:
+        return page_id in self._pages
+
+    def page_count(self) -> int:
+        return len(self._pages)
+
+
+class DurableBackend(StorageBackend):
+    """Append-only segment file + WAL + atomic snapshot in one directory."""
+
+    persistent = True
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = os.fspath(path)
+        os.makedirs(self.path, exist_ok=True)
+        self._segment_path = os.path.join(self.path, SEGMENT_FILE)
+        self._snapshot_path = os.path.join(self.path, SNAPSHOT_FILE)
+        #: page id -> byte offset of the latest image in the segment file.
+        self._directory: dict[PageId, int] = {}
+        self._pages_flushed = 0
+        self.snapshot_meta: Optional[dict[str, Any]] = None
+
+        if os.path.exists(self._segment_path):
+            self._segments = open(self._segment_path, "r+b")
+            magic = self._segments.read(len(SEGMENT_MAGIC))
+            if magic != SEGMENT_MAGIC:
+                raise StorageError(f"{self._segment_path} is not a minidb segment file")
+        else:
+            self._segments = open(self._segment_path, "w+b")
+            self._segments.write(SEGMENT_MAGIC)
+            self._segments.flush()
+
+        epoch = 0
+        if os.path.exists(self._snapshot_path):
+            with open(self._snapshot_path, "rb") as fh:
+                self.snapshot_meta = load_record(read_frame_at(fh, 0))
+            epoch = self.snapshot_meta["epoch"]
+            # Offsets are snapshot-scoped: images appended after the last
+            # checkpoint are unreachable garbage (their logical content is
+            # re-created by WAL replay), so the directory comes from the
+            # snapshot alone.
+            self._directory = {
+                PageId(file_id, page_no): offset
+                for (file_id, page_no), offset in self.snapshot_meta["directory"].items()
+            }
+        self.wal = WriteAheadLog(os.path.join(self.path, WAL_FILE))
+        self._snapshot_epoch = epoch
+
+    # -- page transfer ----------------------------------------------------
+    def load_page(self, page_id: PageId) -> Page:
+        offset = self._directory.get(page_id)
+        if offset is None:
+            raise BufferPoolError(f"{page_id} does not exist")
+        page = Page.from_image(load_record(read_frame_at(self._segments, offset)))
+        return page
+
+    def store_page(self, page: Page) -> None:
+        # A clean evicted page whose image is already on disk needs no new
+        # segment record; anything else gets appended.
+        if page.dirty or page.page_id not in self._directory:
+            self._append_image(page)
+
+    def write_back(self, page: Page) -> None:
+        self._append_image(page)
+
+    def _append_image(self, page: Page) -> None:
+        self._segments.seek(0, os.SEEK_END)
+        offset = write_frame(self._segments, dump_record(page.image()))
+        self._segments.flush()
+        self._directory[page.page_id] = offset
+        self._pages_flushed += 1
+
+    def remove_page(self, page_id: PageId) -> None:
+        self._directory.pop(page_id, None)
+
+    def contains(self, page_id: PageId) -> bool:
+        return page_id in self._directory
+
+    def page_count(self) -> int:
+        return len(self._directory)
+
+    # -- durability --------------------------------------------------------
+    @property
+    def wal_bytes_written(self) -> int:
+        return self.wal.bytes_written
+
+    @property
+    def pages_flushed(self) -> int:
+        return self._pages_flushed
+
+    @property
+    def epoch(self) -> int:
+        return self._snapshot_epoch
+
+    def log(self, record: tuple) -> None:
+        self.wal.append(record)
+
+    def replay_wal(self, discard: bool = False) -> list[tuple]:
+        """Records appended since the last checkpoint (torn tail removed).
+
+        ``discard=True`` resets the log instead: used when a coordinator
+        (e.g. the crawl checkpoint manager) wants the database exactly as
+        of the snapshot, with post-checkpoint writes dropped.
+        """
+        if discard:
+            self.wal.reset(self._snapshot_epoch)
+            return []
+        return self.wal.replay(expected_epoch=self._snapshot_epoch)
+
+    def checkpoint(self, catalog_meta: dict[str, Any]) -> None:
+        """Atomically publish a snapshot of the current state, then reset the WAL.
+
+        The caller must have flushed every dirty page first (so the
+        directory covers the full database image).  The snapshot is
+        written to a temp file and renamed over the old one; the epoch
+        bump ties it to the freshly reset WAL.  A crash between rename
+        and reset leaves a WAL with a stale epoch, which recovery
+        detects and discards (its records are inside the snapshot).
+        """
+        self._segments.flush()
+        os.fsync(self._segments.fileno())
+        new_epoch = self._snapshot_epoch + 1
+        meta = dict(catalog_meta)
+        meta["epoch"] = new_epoch
+        meta["directory"] = {
+            (page_id.file_id, page_id.page_no): offset
+            for page_id, offset in self._directory.items()
+        }
+        tmp_path = self._snapshot_path + ".tmp"
+        with open(tmp_path, "wb") as fh:
+            write_frame(fh, dump_record(meta))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, self._snapshot_path)
+        self.snapshot_meta = meta
+        self._snapshot_epoch = new_epoch
+        self.wal.reset(new_epoch)
+
+    def close(self) -> None:
+        self.wal.close()
+        if not self._segments.closed:
+            self._segments.flush()
+            self._segments.close()

@@ -19,10 +19,13 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from .errors import BufferPoolError
 from .pages import Page, PageId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .backend import StorageBackend
 
 
 @dataclass
@@ -122,26 +125,36 @@ class _Frame:
 
 
 class BufferPool:
-    """A fixed-capacity, LRU-replacement page cache backed by a "disk" dict.
+    """A fixed-capacity, LRU-replacement page cache over a storage backend.
 
-    The "disk" is an in-memory dict of evicted pages; what matters for the
-    experiments is not persistence but the *counting* of page transfers
-    between the pool and the disk.
+    Evicted pages are handed to a pluggable
+    :class:`~repro.minidb.backend.StorageBackend` — an in-memory dict by
+    default (what matters for the experiments is the *counting* of page
+    transfers, not persistence), or a durable segment file.
     """
 
-    def __init__(self, capacity_pages: int = 256, stats: Optional[IOStats] = None) -> None:
+    def __init__(
+        self,
+        capacity_pages: int = 256,
+        stats: Optional[IOStats] = None,
+        backend: Optional["StorageBackend"] = None,
+    ) -> None:
         if capacity_pages < 1:
             raise BufferPoolError("buffer pool needs at least one frame")
+        if backend is None:
+            from .backend import MemoryBackend
+
+            backend = MemoryBackend()
         self.capacity_pages = capacity_pages
         self.stats = stats if stats is not None else IOStats()
+        self.backend = backend
         self._frames: OrderedDict[PageId, _Frame] = OrderedDict()
-        self._disk: dict[PageId, Page] = {}
         self._last_miss: Optional[PageId] = None
 
     # -- page lifecycle --------------------------------------------------
     def create_page(self, page_id: PageId, capacity: int) -> Page:
         """Allocate a brand-new page (not yet on disk) and cache it."""
-        if page_id in self._frames or page_id in self._disk:
+        if page_id in self._frames or self.backend.contains(page_id):
             raise BufferPoolError(f"{page_id} already exists")
         page = Page(page_id=page_id, capacity=capacity, dirty=True)
         self._admit(page_id, page)
@@ -154,10 +167,7 @@ class BufferPool:
         if frame is not None:
             self._frames.move_to_end(page_id)
             return frame.page
-        try:
-            page = self._disk[page_id]
-        except KeyError:
-            raise BufferPoolError(f"{page_id} does not exist") from None
+        page = self.backend.load_page(page_id)
         self.stats.physical_reads += 1
         if (
             self._last_miss is not None
@@ -166,7 +176,6 @@ class BufferPool:
         ):
             self.stats.sequential_reads += 1
         self._last_miss = page_id
-        del self._disk[page_id]
         self._admit(page_id, page)
         return page
 
@@ -191,13 +200,14 @@ class BufferPool:
     def drop_page(self, page_id: PageId) -> None:
         """Remove a page entirely (table drop); no write-back is charged."""
         self._frames.pop(page_id, None)
-        self._disk.pop(page_id, None)
+        self.backend.remove_page(page_id)
 
     def flush_all(self) -> None:
         """Write back every dirty resident page without evicting it."""
         for frame in self._frames.values():
             if frame.page.dirty:
                 self.stats.physical_writes += 1
+                self.backend.write_back(frame.page)
                 frame.page.dirty = False
 
     def resize(self, capacity_pages: int) -> None:
@@ -220,10 +230,19 @@ class BufferPool:
 
     @property
     def disk_pages(self) -> int:
-        return len(self._disk)
+        """Pages held only by the backend (not resident).
+
+        A durable backend keeps its directory entry when a page is loaded
+        (the image is the recovery source), so resident pages must be
+        subtracted; the memory backend's dict is already exclusive.
+        """
+        return self.backend.page_count() - self._resident_overlap()
 
     def total_pages(self) -> int:
-        return len(self._frames) + len(self._disk)
+        return len(self._frames) + self.backend.page_count() - self._resident_overlap()
+
+    def _resident_overlap(self) -> int:
+        return sum(1 for page_id in self._frames if self.backend.contains(page_id))
 
     def is_resident(self, page_id: PageId) -> bool:
         return page_id in self._frames
@@ -245,6 +264,8 @@ class BufferPool:
         del self._frames[victim_id]
         if victim.page.dirty:
             self.stats.physical_writes += 1
-            victim.page.dirty = False
-        self._disk[victim_id] = victim.page
+        # The backend inspects the dirty flag to decide whether a fresh
+        # image must be written, so clear it only after the hand-off.
+        self.backend.store_page(victim.page)
+        victim.page.dirty = False
         self.stats.evictions += 1

@@ -5,23 +5,35 @@ for the paper's DB2 Universal Database instance.  It owns:
 
 * a :class:`~repro.minidb.buffer_pool.BufferPool` (shared across all
   tables so the Figure 8(b) memory-scaling sweep controls a single knob),
+* a pluggable :class:`~repro.minidb.backend.StorageBackend` under the
+  pool — in-memory by default, or a durable segment-file/WAL store
+  opened with :meth:`Database.open`,
 * the table catalog (create/drop/lookup),
 * the trigger registry,
 * entry points for the fluent :class:`~repro.minidb.query.Query` builder
   and the SQL text interface.
+
+A durable database logs every table mutation (and DDL) to a write-ahead
+log; :meth:`checkpoint` flushes all dirty pages and publishes an atomic
+snapshot, and :meth:`open` on an existing directory restores the last
+snapshot and replays the log over it — reproducing record ids exactly,
+because the log is logical and replayed against the identical heap
+state it was produced from.  Triggers are runtime objects and are *not*
+persisted; re-register them after reopening.
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterable, Mapping, Optional, Sequence
 
+from .backend import DurableBackend, MemoryBackend, StorageBackend
 from .buffer_pool import BufferPool, IOStats
-from .errors import CatalogError
-from .pages import DEFAULT_PAGE_SIZE
+from .errors import CatalogError, StorageError
+from .pages import DEFAULT_PAGE_SIZE, PageId, RecordId
 from .query import Query
 from .table import Table
 from .triggers import Trigger, TriggerAction, TriggerRegistry
-from .types import Schema
+from .types import Schema, schema_from_spec, schema_to_spec
 
 
 class Database:
@@ -31,13 +43,43 @@ class Database:
         self,
         buffer_pool_pages: int = 256,
         page_size: int = DEFAULT_PAGE_SIZE,
+        backend: Optional[StorageBackend] = None,
+        replay_wal: bool = True,
     ) -> None:
         self.stats = IOStats()
-        self.buffer_pool = BufferPool(buffer_pool_pages, self.stats)
+        self.backend = backend if backend is not None else MemoryBackend()
+        self.buffer_pool = BufferPool(buffer_pool_pages, self.stats, self.backend)
         self.page_size = page_size
         self.triggers = TriggerRegistry()
         self._tables: dict[str, Table] = {}
         self._next_file_id = 0
+        self._replaying = False
+        if self.backend.persistent:
+            self._recover(replay_wal)
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        buffer_pool_pages: int = 256,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        replay_wal: bool = True,
+    ) -> "Database":
+        """Open (or create) a durable database at directory *path*.
+
+        Recovery restores the last checkpoint snapshot, rebuilds every
+        index with one sequential heap scan per table, and replays the
+        write-ahead log over it.  ``replay_wal=False`` pins the state to
+        the snapshot instead, discarding post-checkpoint writes — used by
+        coordinators (e.g. the crawl checkpoint manager) that must keep
+        the database consistent with externally saved state.
+        """
+        return cls(
+            buffer_pool_pages=buffer_pool_pages,
+            page_size=page_size,
+            backend=DurableBackend(path),
+            replay_wal=replay_wal,
+        )
 
     # -- catalog -------------------------------------------------------------
     def create_table(self, name: str, schema: Schema) -> Table:
@@ -46,13 +88,19 @@ class Database:
         table = Table(name, schema, self._next_file_id, self.buffer_pool, self.page_size)
         self._next_file_id += 1
         table.add_mutation_listener(self._on_mutation)
+        if self.backend.persistent:
+            table.set_journal(self._log_table_op)
         self._tables[name] = table
+        self._log_table_op(("create_table", name, schema_to_spec(schema)))
         return table
 
     def drop_table(self, name: str) -> None:
         table = self.table(name)
+        # The drop record subsumes the internal truncate's journal entry.
+        table.set_journal(None)
         table.truncate()
         del self._tables[name]
+        self._log_table_op(("drop_table", name))
 
     def table(self, name: str) -> Table:
         try:
@@ -104,6 +152,139 @@ class Database:
 
         return execute_sql(self, text, parameters or {})
 
+    # -- durability -------------------------------------------------------------------
+    def checkpoint(self, app_state: Any = None) -> None:
+        """Flush every dirty page and publish an atomic snapshot + fresh WAL.
+
+        After a checkpoint the write-ahead log is empty; recovery cost is
+        proportional to the writes since the last checkpoint, not since
+        the database was created.
+
+        *app_state* is an opaque picklable value stored inside the same
+        atomic snapshot record.  Coordinators that must keep external
+        state (e.g. a crawl engine's round state) consistent with the
+        database ride it here: a crash either publishes both or neither,
+        so there is no window where they disagree.
+        """
+        if not self.backend.persistent:
+            raise StorageError(
+                "in-memory databases cannot checkpoint; create one with Database.open(path)"
+            )
+        self.buffer_pool.flush_all()
+        meta = self._catalog_meta()
+        meta["app_state"] = app_state
+        self.backend.checkpoint(meta)
+
+    def app_state(self) -> Any:
+        """The opaque state stored by the last :meth:`checkpoint`, or None."""
+        meta = getattr(self.backend, "snapshot_meta", None)
+        return meta.get("app_state") if meta else None
+
+    def close(self) -> None:
+        """Release backend file handles (a no-op for in-memory databases)."""
+        self.backend.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _log_table_op(self, record: tuple) -> None:
+        if self._replaying or not self.backend.persistent:
+            return
+        self.backend.log(record)
+
+    def _catalog_meta(self) -> dict[str, Any]:
+        """The snapshot's description of the catalog (schemas, extents, indexes)."""
+        from .index import OrderedIndex
+
+        tables = []
+        for name, table in self._tables.items():  # dict order == creation order
+            tables.append(
+                {
+                    "name": name,
+                    "file_id": table.heap.file_id,
+                    "page_count": table.heap.page_count,
+                    "row_count": table.heap.row_count,
+                    "schema": schema_to_spec(table.schema),
+                    "indexes": [
+                        {
+                            "name": index.name,
+                            "columns": list(index.key_columns),
+                            "kind": "ordered" if isinstance(index, OrderedIndex) else "hash",
+                        }
+                        for index in table.indexes.values()
+                    ],
+                }
+            )
+        return {
+            "page_size": self.page_size,
+            "next_file_id": self._next_file_id,
+            "tables": tables,
+        }
+
+    def _recover(self, replay_wal: bool) -> None:
+        """Restore the last snapshot and replay (or discard) the WAL tail."""
+        meta = getattr(self.backend, "snapshot_meta", None)
+        self._replaying = True
+        try:
+            if meta is not None:
+                self.page_size = meta["page_size"]
+                self._next_file_id = meta["next_file_id"]
+                for spec in meta["tables"]:
+                    table = Table(
+                        spec["name"],
+                        schema_from_spec(spec["schema"]),
+                        spec["file_id"],
+                        self.buffer_pool,
+                        self.page_size,
+                    )
+                    table.heap.restore(spec["page_count"], spec["row_count"])
+                    for index_spec in spec["indexes"]:
+                        table.attach_index(
+                            index_spec["name"], index_spec["columns"], index_spec["kind"]
+                        )
+                    table.rebuild_indexes()
+                    table.add_mutation_listener(self._on_mutation)
+                    table.set_journal(self._log_table_op)
+                    self._tables[spec["name"]] = table
+            for record in self.backend.replay_wal(discard=not replay_wal):
+                self._apply_wal_record(record)
+        finally:
+            self._replaying = False
+
+    def _apply_wal_record(self, record: tuple) -> None:
+        op = record[0]
+        if op == "create_table":
+            self.create_table(record[1], schema_from_spec(record[2]))
+        elif op == "drop_table":
+            self.drop_table(record[1])
+        elif op == "create_index":
+            self.table(record[1]).create_index(record[2], record[3], kind=record[4])
+        elif op == "drop_index":
+            self.table(record[1]).drop_index(record[2])
+        elif op == "insert":
+            self.table(record[1]).insert_many(record[2])
+        elif op == "update":
+            table = self.table(record[1])
+            table.update_rows(
+                [(self._decode_rid(table, rid), changes) for rid, changes in record[2]]
+            )
+        elif op == "delete":
+            table = self.table(record[1])
+            for rid in record[2]:
+                table.delete_row(self._decode_rid(table, rid))
+        elif op == "truncate":
+            self.table(record[1]).truncate()
+        else:
+            raise StorageError(f"unknown WAL record {op!r}")
+
+    @staticmethod
+    def _decode_rid(table: Table, rid: tuple) -> RecordId:
+        page_no, slot = rid
+        return RecordId(PageId(table.heap.file_id, page_no), slot)
+
     # -- maintenance ------------------------------------------------------------------
     def resize_buffer_pool(self, capacity_pages: int) -> None:
         self.buffer_pool.resize(capacity_pages)
@@ -116,7 +297,10 @@ class Database:
         self.stats.reset()
 
     def io_snapshot(self) -> dict[str, float]:
-        return self.stats.snapshot()
+        snapshot = self.stats.snapshot()
+        snapshot["wal_bytes_written"] = float(self.backend.wal_bytes_written)
+        snapshot["pages_flushed"] = float(self.backend.pages_flushed)
+        return snapshot
 
     def total_pages(self) -> int:
         return sum(t.page_count for t in self._tables.values())

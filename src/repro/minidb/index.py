@@ -18,6 +18,9 @@ from .errors import CatalogError, StorageError
 from .pages import RecordId
 from .types import Schema
 
+#: Sentinel distinguishing "absent" from a stored None in bucket pops.
+_MISSING = object()
+
 
 class Index:
     """Base class for secondary indexes over a subset of a table's columns."""
@@ -39,6 +42,15 @@ class Index:
     def insert(self, row: Sequence[Any], rid: RecordId) -> None:
         raise NotImplementedError
 
+    def insert_many(self, pairs: Iterable[tuple[Sequence[Any], RecordId]]) -> None:
+        """Add many ``(row, rid)`` entries; subclasses may batch per key.
+
+        This is the bulk-load path used by index backfill and by
+        post-recovery rebuilds (one heap scan feeding every index).
+        """
+        for row, rid in pairs:
+            self.insert(row, rid)
+
     def delete(self, row: Sequence[Any], rid: RecordId) -> None:
         raise NotImplementedError
 
@@ -59,69 +71,47 @@ class Index:
 
 
 class HashIndex(Index):
-    """Equality-only index backed by a dict of key tuple -> record-id list."""
+    """Equality-only index: key tuple -> insertion-ordered set of record ids.
+
+    Buckets are dicts used as ordered sets (``rid -> None``): membership
+    and deletion are O(1) regardless of bucket size — the old record-id
+    *lists* made every delete a linear probe, which was the serial
+    crawler's dominant cost on hot buckets such as ``status='frontier'``
+    — while iteration still yields record ids in insertion order, so
+    :meth:`search` results are byte-for-byte what the list version
+    returned.
+    """
 
     def __init__(self, name: str, schema: Schema, key_columns: Sequence[str]) -> None:
         super().__init__(name, schema, key_columns)
-        self._buckets: dict[tuple, list[RecordId]] = {}
+        self._buckets: dict[tuple, dict[RecordId, None]] = {}
         self._entries = 0
 
     def insert(self, row: Sequence[Any], rid: RecordId) -> None:
-        self._buckets.setdefault(self.key_of(row), []).append(rid)
-        self._entries += 1
+        bucket = self._buckets.setdefault(self.key_of(row), {})
+        if rid not in bucket:
+            bucket[rid] = None
+            self._entries += 1
+
+    def insert_many(self, pairs: Iterable[tuple[Sequence[Any], RecordId]]) -> None:
+        buckets = self._buckets
+        key_of = self.key_of
+        added = 0
+        for row, rid in pairs:
+            bucket = buckets.setdefault(key_of(row), {})
+            if rid not in bucket:
+                bucket[rid] = None
+                added += 1
+        self._entries += added
 
     def delete(self, row: Sequence[Any], rid: RecordId) -> None:
         key = self.key_of(row)
         bucket = self._buckets.get(key)
-        if not bucket or rid not in bucket:
+        if bucket is None or bucket.pop(rid, _MISSING) is _MISSING:
             raise StorageError(f"index {self.name!r}: {rid} not found under key {key!r}")
-        bucket.remove(rid)
         self._entries -= 1
         if not bucket:
             del self._buckets[key]
-
-    def delete_many(self, pairs: Iterable[tuple[Sequence[Any], RecordId]]) -> None:
-        """Grouped removal: one pass over each touched bucket.
-
-        ``delete`` is a linear probe of the key's record-id list, so K
-        deletes against a hot bucket (e.g. ``status = 'frontier'`` during a
-        batched crawl round) cost K full scans.  Grouping by key rebuilds
-        each bucket once against a hash set instead.
-        """
-        by_key: dict[tuple, list[RecordId]] = {}
-        for row, rid in pairs:
-            by_key.setdefault(self.key_of(row), []).append(rid)
-        for key, rids in by_key.items():
-            bucket = self._buckets.get(key)
-            if len(rids) == 1:
-                if not bucket or rids[0] not in bucket:
-                    raise StorageError(
-                        f"index {self.name!r}: {rids[0]} not found under key {key!r}"
-                    )
-                bucket.remove(rids[0])
-            else:
-                source = bucket or ()
-                # Identity pass first: callers almost always hand back the
-                # record-id objects the index itself stored, and comparing
-                # by id() skips per-element dataclass hashing on a bucket
-                # that may hold tens of thousands of entries.
-                removing_ids = {id(rid) for rid in rids}
-                remaining = [r for r in source if id(r) not in removing_ids]
-                if len(remaining) != len(source) - len(rids):
-                    removing = set(rids)
-                    remaining = [r for r in source if r not in removing]
-                    if len(remaining) != len(source) - len(removing):
-                        raise StorageError(
-                            f"index {self.name!r}: missing entries under key {key!r}"
-                        )
-                if remaining:
-                    self._buckets[key] = remaining
-                    bucket = remaining
-                else:
-                    bucket = []
-            self._entries -= len(rids)
-            if not bucket:
-                self._buckets.pop(key, None)
 
     def clear(self) -> None:
         self._buckets.clear()

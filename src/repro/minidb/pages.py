@@ -121,6 +121,31 @@ class Page:
             if row is not None:
                 yield slot, row
 
+    # -- durable images ---------------------------------------------------
+    def image(self) -> tuple:
+        """A compact, serialisable image of the page (for durable backends)."""
+        return (
+            self.page_id.file_id,
+            self.page_id.page_no,
+            self.capacity,
+            list(self.slots),
+            self.used_bytes,
+            self.tombstones,
+        )
+
+    @classmethod
+    def from_image(cls, image: tuple) -> "Page":
+        """Rebuild a (clean) page from :meth:`image` output."""
+        file_id, page_no, capacity, slots, used_bytes, tombstones = image
+        return cls(
+            page_id=PageId(file_id, page_no),
+            capacity=capacity,
+            slots=list(slots),
+            used_bytes=used_bytes,
+            dirty=False,
+            tombstones=tombstones,
+        )
+
     def live_count(self) -> int:
         return sum(1 for row in self.slots if row is not None)
 

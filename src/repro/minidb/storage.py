@@ -148,14 +148,31 @@ class HeapFile:
         self._page_count = 0
         self._row_count = 0
 
+    def restore(self, page_count: int, row_count: int) -> None:
+        """Adopt heap extents recovered from a snapshot.
+
+        The pages themselves already live in the storage backend; only the
+        in-memory bookkeeping (how many pages/rows this heap owns) needs
+        to be re-established before scans and appends can resume.
+        """
+        self._page_count = page_count
+        self._row_count = row_count
+
     # -- scans --------------------------------------------------------------
     def scan(self) -> Iterator[tuple[RecordId, tuple]]:
         """Yield ``(rid, row)`` for every live row, page by page (sequential I/O)."""
         return self.scan_from(0)
 
-    def scan_from(self, start_page: int) -> Iterator[tuple[RecordId, tuple]]:
-        """Like :meth:`scan`, but starting at *start_page* (delta scans)."""
-        for page_no in range(start_page, self._page_count):
+    def scan_from(
+        self, start_page: int, stop_page: Optional[int] = None
+    ) -> Iterator[tuple[RecordId, tuple]]:
+        """Like :meth:`scan`, but over pages ``[start_page, stop_page)``.
+
+        ``stop_page=None`` scans to the end of the heap; an explicit bound
+        supports delta scans that must stop at a recorded watermark.
+        """
+        stop = self._page_count if stop_page is None else min(stop_page, self._page_count)
+        for page_no in range(start_page, stop):
             page_id = PageId(self.file_id, page_no)
             page = self.buffer_pool.get_page(page_id)
             for slot, row in page.rows():

@@ -42,6 +42,9 @@ class Table:
             )
         #: Hooks invoked after a mutation: callables taking (event, table, rows).
         self._mutation_listeners: list[Callable[[str, "Table", list[Row]], None]] = []
+        #: Write-ahead journal sink (set by a durable Database); None keeps
+        #: the in-memory fast path at a single attribute check per mutation.
+        self._journal: Optional[Callable[[tuple], None]] = None
 
     # -- metadata -----------------------------------------------------------
     @property
@@ -60,14 +63,37 @@ class Table:
     ) -> None:
         self._mutation_listeners.append(listener)
 
+    def set_journal(self, journal: Optional[Callable[[tuple], None]]) -> None:
+        """Attach the owning database's write-ahead journal sink."""
+        self._journal = journal
+
+    def _log(self, record: tuple) -> None:
+        if self._journal is not None:
+            self._journal(record)
+
+    @staticmethod
+    def _rid_tuple(rid: RecordId) -> tuple[int, int]:
+        """The journal encoding of a record id (file id is implied by the table)."""
+        return (rid.page_id.page_no, rid.slot)
+
     # -- index management ------------------------------------------------------
     def create_index(self, name: str, columns: Sequence[str], kind: str = "hash") -> Index:
         """Create and backfill a secondary index over *columns*."""
+        index = self.attach_index(name, columns, kind)
+        index.insert_many((row, rid) for rid, row in self.heap.scan())
+        self._log(("create_index", self.name, name, list(columns), kind))
+        return index
+
+    def attach_index(self, name: str, columns: Sequence[str], kind: str = "hash") -> Index:
+        """Register an index definition *without* backfilling it.
+
+        Recovery attaches every index first and then rebuilds them all in
+        a single heap pass (:meth:`rebuild_indexes`) instead of paying one
+        sequential scan per index.
+        """
         if name in self.indexes:
             raise CatalogError(f"index {name!r} already exists on table {self.name!r}")
         index = build_index(kind, name, self.schema, columns)
-        for rid, row in self.heap.scan():
-            index.insert(row, rid)
         self.indexes[name] = index
         return index
 
@@ -75,6 +101,26 @@ class Table:
         if name not in self.indexes:
             raise CatalogError(f"no index {name!r} on table {self.name!r}")
         del self.indexes[name]
+        self._log(("drop_index", self.name, name))
+
+    def rebuild_indexes(self) -> None:
+        """Rebuild the primary-key and all secondary indexes in one heap pass.
+
+        Used after recovery: the heap is scanned once (sequential I/O via
+        :meth:`HeapFile.scan_from`) and the ``(row, rid)`` pairs are bulk
+        loaded into every index, instead of per-row inserts with one scan
+        per index.
+        """
+        indexes: list[Index] = list(self.indexes.values())
+        if self._pk_index is not None:
+            indexes.append(self._pk_index)
+        if not indexes:
+            return
+        for index in indexes:
+            index.clear()
+        pairs = [(row, rid) for rid, row in self.heap.scan_from(0)]
+        for index in indexes:
+            index.insert_many(pairs)
 
     def index_on(self, columns: Sequence[str]) -> Optional[Index]:
         """Return an index whose key is exactly *columns* (order-sensitive), if any."""
@@ -101,6 +147,7 @@ class Table:
         self._check_primary_key(row)
         rid = self.heap.insert(row)
         self._index_insert(row, rid)
+        self._log(("insert", self.name, [row]))
         self._notify("insert", [row])
         return rid
 
@@ -136,6 +183,7 @@ class Table:
         rids = self.heap.insert_rows(coerced, sizes)
         for row, rid in zip(coerced, rids):
             self._index_insert(row, rid)
+        self._log(("insert", self.name, coerced))
         self._notify("insert", coerced)
         return rids
 
@@ -150,6 +198,7 @@ class Table:
         self._index_delete(old, rid)
         self.heap.update(rid, new)
         self._index_insert(new, rid)
+        self._log(("update", self.name, [(self._rid_tuple(rid), dict(changes))]))
         self._notify("update", [new])
         return new
 
@@ -223,6 +272,13 @@ class Table:
         for index, moved in moved_by_index:
             for rid, _old, new in moved:
                 index.insert(new, rid)
+        self._log(
+            (
+                "update",
+                self.name,
+                [(self._rid_tuple(rid), dict(changes)) for rid, changes in updates],
+            )
+        )
         self._notify("update", [new for _rid, _old, new, _delta in items])
         return len(items)
 
@@ -240,20 +296,22 @@ class Table:
     def delete_row(self, rid: RecordId) -> Row:
         row = self.heap.delete(rid)
         self._index_delete(row, rid)
+        self._log(("delete", self.name, [self._rid_tuple(rid)]))
         self._notify("delete", [row])
         return row
 
     def delete_where(self, predicate: Optional[Expression]) -> int:
         """Delete every row matching *predicate* (all rows when None); returns count."""
-        deleted = 0
+        deleted: list[RecordId] = []
         for rid, row in list(self.heap.scan()):
             if predicate is None or predicate.evaluate(self.schema.row_to_mapping(row)):
                 self.heap.delete(rid)
                 self._index_delete(row, rid)
-                deleted += 1
+                deleted.append(rid)
         if deleted:
+            self._log(("delete", self.name, [self._rid_tuple(rid) for rid in deleted]))
             self._notify("delete", [])
-        return deleted
+        return len(deleted)
 
     def truncate(self) -> None:
         self.heap.truncate()
@@ -261,6 +319,7 @@ class Table:
             self._pk_index.clear()
         for index in self.indexes.values():
             index.clear()
+        self._log(("truncate", self.name))
         self._notify("delete", [])
 
     # -- reads ------------------------------------------------------------------------

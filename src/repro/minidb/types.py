@@ -176,6 +176,23 @@ class Schema:
         return [self.position(n) for n in names]
 
 
+def schema_to_spec(schema: Schema) -> tuple:
+    """A plain-data description of *schema* (for WAL records and snapshots)."""
+    return (
+        [(c.name, c.type.value, c.nullable) for c in schema.columns],
+        list(schema.primary_key),
+    )
+
+
+def schema_from_spec(spec: tuple) -> Schema:
+    """Rebuild a :class:`Schema` from :func:`schema_to_spec` output."""
+    columns, primary_key = spec
+    return Schema(
+        [Column(name, ColumnType(type_value), nullable) for name, type_value, nullable in columns],
+        tuple(primary_key),
+    )
+
+
 def make_schema(*columns: tuple, primary_key: Sequence[str] = ()) -> Schema:
     """Convenience constructor.
 

@@ -96,6 +96,18 @@ class Fetcher:
         with self._lock:
             return self._fetch_locked(url)
 
+    # -- checkpointing ------------------------------------------------------
+    def state_snapshot(self) -> dict:
+        """The fetcher's resumable state: its RNG stream position and counters."""
+        from dataclasses import asdict
+
+        return {"rng": self._rng.bit_generator.state, "stats": asdict(self.stats)}
+
+    def restore_state(self, state: dict) -> None:
+        """Rewind to a snapshot, so the latency/failure draws continue exactly."""
+        self._rng.bit_generator.state = state["rng"]
+        self.stats = FetchStats(**state["stats"])
+
     def _fetch_locked(self, url: str) -> FetchResult:
         normalized = normalize_url(url)
         host = host_of(normalized)

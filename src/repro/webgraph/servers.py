@@ -73,6 +73,15 @@ class ServerPool:
         """
         self.rng = np.random.default_rng(seed)
 
+    def rng_state(self) -> dict:
+        """The generator's exact position (for crawl checkpoints)."""
+        return self.rng.bit_generator.state
+
+    def restore_rng(self, state: dict) -> None:
+        """Resume the failure/latency stream mid-sequence (crawl resume)."""
+        self.rng = np.random.default_rng(0)
+        self.rng.bit_generator.state = state
+
     # -- simulation -------------------------------------------------------------
     def simulate_fetch(self, name: str) -> tuple[bool, float]:
         """Simulate one fetch from server *name*.

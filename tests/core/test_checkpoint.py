@@ -1,0 +1,237 @@
+"""Crash-recovery: a killed crawl, resumed from its checkpoint, must be
+indistinguishable from one that never died.
+
+The contract under test (the PR's acceptance criterion): kill the crawl
+process at an arbitrary point, reopen the durable database, resume — and
+the combined run visits the identical page sequence with identical
+relevance floats as an uninterrupted run, to 1e-9 (in fact bit for bit).
+"""
+
+import pytest
+
+from repro.core.checkpoint import CheckpointManager
+from repro.core.config import FocusConfig
+from repro.core.system import FocusSystem
+from repro.crawler.focused import CrawlerConfig
+from repro.minidb import Database
+from repro.minidb.errors import StorageError
+from repro.webgraph.fetch import Fetcher
+
+GOOD = "recreation/cycling"
+
+#: Shared crawl shape: small enough to run four scenarios, big enough to
+#: cross several distillation and checkpoint boundaries.
+MAX_PAGES = 140
+CHECKPOINT_EVERY = 30
+FETCH_FAILURE_SEED = 3
+
+
+class KillSwitch(Exception):
+    """Stands in for SIGKILL: aborts the crawl at an arbitrary fetch."""
+
+
+def build_system(web) -> FocusSystem:
+    config = FocusConfig(good_topics=(GOOD,), examples_per_leaf=12, seed_count=8)
+    system = FocusSystem.from_web(web, [GOOD], config)
+    system.train()
+    return system
+
+
+def crawl_config(engine: str) -> CrawlerConfig:
+    return CrawlerConfig(
+        max_pages=MAX_PAGES,
+        distill_every=40,
+        checkpoint_every=CHECKPOINT_EVERY,
+        engine=engine,
+        batch_size=4 if engine == "batched" else 1,
+    )
+
+
+def kill_fetcher_after(monkeypatch, attempts: int) -> None:
+    """Raise :class:`KillSwitch` out of the Nth fetch attempt."""
+    real_fetch = Fetcher.fetch
+    state = {"calls": 0}
+
+    def killing(self, url):
+        state["calls"] += 1
+        if state["calls"] > attempts:
+            raise KillSwitch(f"killed at fetch attempt {attempts}")
+        return real_fetch(self, url)
+
+    monkeypatch.setattr(Fetcher, "fetch", killing)
+
+
+@pytest.fixture(scope="module")
+def checkpoint_system(small_web):
+    return build_system(small_web)
+
+
+@pytest.fixture(scope="module")
+def reference_batched(checkpoint_system):
+    """The uninterrupted batched crawl every resume scenario must reproduce."""
+    return checkpoint_system.crawl(
+        crawler_config=crawl_config("batched"), fetch_failure_seed=FETCH_FAILURE_SEED
+    )
+
+
+@pytest.fixture(scope="module")
+def reference_serial(checkpoint_system):
+    return checkpoint_system.crawl(
+        crawler_config=crawl_config("serial"), fetch_failure_seed=FETCH_FAILURE_SEED
+    )
+
+
+def assert_traces_match(resumed, reference):
+    assert resumed.trace.fetched_urls == reference.trace.fetched_urls
+    resumed_relevance = resumed.trace.relevance_series()
+    reference_relevance = reference.trace.relevance_series()
+    assert max(
+        abs(a - b) for a, b in zip(resumed_relevance, reference_relevance)
+    ) <= 1e-9
+    assert resumed_relevance == reference_relevance  # in fact bit for bit
+    assert resumed.trace.failed_urls == reference.trace.failed_urls
+    assert resumed.trace.distillations == reference.trace.distillations
+    assert len(resumed.database.table("CRAWL")) == len(reference.database.table("CRAWL"))
+    assert len(resumed.database.table("LINK")) == len(reference.database.table("LINK"))
+
+
+class TestCrashResume:
+    # Kill points straddle the checkpoint cadence: before the first
+    # periodic save (only the initial checkpoint exists), mid-interval
+    # (a WAL tail must be discarded), and deep into the crawl.
+    @pytest.mark.parametrize("kill_after", [12, 47, 101])
+    def test_batched_killed_and_resumed_matches_uninterrupted(
+        self, checkpoint_system, reference_batched, tmp_path, monkeypatch, kill_after
+    ):
+        kill_fetcher_after(monkeypatch, kill_after)
+        with pytest.raises(KillSwitch):
+            checkpoint_system.crawl(
+                crawler_config=crawl_config("batched"),
+                fetch_failure_seed=FETCH_FAILURE_SEED,
+                checkpoint_dir=str(tmp_path / "crawl"),
+            )
+        monkeypatch.undo()
+
+        resumed = checkpoint_system.crawl(resume_from=str(tmp_path / "crawl"))
+        assert resumed.pages_fetched() == MAX_PAGES
+        assert_traces_match(resumed, reference_batched)
+        resumed.database.close()
+
+    def test_serial_killed_and_resumed_matches_uninterrupted(
+        self, checkpoint_system, reference_serial, tmp_path, monkeypatch
+    ):
+        kill_fetcher_after(monkeypatch, 58)
+        with pytest.raises(KillSwitch):
+            checkpoint_system.crawl(
+                crawler_config=crawl_config("serial"),
+                fetch_failure_seed=FETCH_FAILURE_SEED,
+                checkpoint_dir=str(tmp_path / "crawl"),
+            )
+        monkeypatch.undo()
+
+        resumed = checkpoint_system.crawl(resume_from=str(tmp_path / "crawl"))
+        assert resumed.pages_fetched() == MAX_PAGES
+        assert_traces_match(resumed, reference_serial)
+        resumed.database.close()
+
+    def test_resume_on_a_freshly_built_system(
+        self, small_web, reference_batched, tmp_path, monkeypatch
+    ):
+        """The real crash story: the process died, everything in memory is
+        gone, and a *new* process (same web/config seeds) picks the crawl
+        up from disk alone."""
+        doomed = build_system(small_web)
+        kill_fetcher_after(monkeypatch, 70)
+        with pytest.raises(KillSwitch):
+            doomed.crawl(
+                crawler_config=crawl_config("batched"),
+                fetch_failure_seed=FETCH_FAILURE_SEED,
+                checkpoint_dir=str(tmp_path / "crawl"),
+            )
+        monkeypatch.undo()
+        del doomed
+
+        fresh = build_system(small_web)
+        resumed = fresh.crawl(resume_from=str(tmp_path / "crawl"))
+        assert_traces_match(resumed, reference_batched)
+        resumed.database.close()
+
+    def test_checkpointing_does_not_perturb_the_crawl(
+        self, checkpoint_system, reference_batched, tmp_path
+    ):
+        """Durable storage + periodic checkpoints are pure overhead: an
+        undisturbed checkpointed crawl equals the in-memory reference."""
+        result = checkpoint_system.crawl(
+            crawler_config=crawl_config("batched"),
+            fetch_failure_seed=FETCH_FAILURE_SEED,
+            checkpoint_dir=str(tmp_path / "crawl"),
+        )
+        assert_traces_match(result, reference_batched)
+        snapshot = result.database.io_snapshot()
+        assert snapshot["wal_bytes_written"] > 0
+        result.database.close()
+
+
+class TestCrawlArgumentGuards:
+    def test_checkpoint_dir_refuses_a_directory_already_holding_a_crawl(
+        self, checkpoint_system, tmp_path
+    ):
+        config = crawl_config("batched")
+        config.max_pages = 20
+        checkpoint_system.crawl(
+            crawler_config=config,
+            fetch_failure_seed=FETCH_FAILURE_SEED,
+            checkpoint_dir=str(tmp_path / "crawl"),
+        )
+        with pytest.raises(ValueError, match="already holds a crawl checkpoint"):
+            checkpoint_system.crawl(
+                crawler_config=crawl_config("batched"),
+                fetch_failure_seed=FETCH_FAILURE_SEED,
+                checkpoint_dir=str(tmp_path / "crawl"),
+            )
+
+    def test_resume_from_rejects_conflicting_arguments(self, checkpoint_system, tmp_path):
+        with pytest.raises(ValueError, match="crawler_config"):
+            checkpoint_system.crawl(
+                resume_from=str(tmp_path / "crawl"),
+                crawler_config=crawl_config("batched"),
+            )
+        with pytest.raises(ValueError, match="seeds"):
+            checkpoint_system.crawl(resume_from=str(tmp_path / "crawl"), seeds=["http://x"])
+
+
+class TestCheckpointManager:
+    def test_requires_a_durable_database(self, checkpoint_system):
+        with pytest.raises(StorageError, match="durable"):
+            CheckpointManager(
+                Database(), crawler=None, fetcher=None, servers=None,
+                seeds=[], good_topics=[],
+            )
+
+    def test_load_refuses_a_database_without_a_checkpoint(self, tmp_path):
+        with Database.open(tmp_path / "db") as db:
+            db.checkpoint()
+        with pytest.raises(StorageError, match="no crawl checkpoint"):
+            CheckpointManager.load(str(tmp_path / "db"))
+
+    def test_resume_continues_checkpointing(
+        self, checkpoint_system, tmp_path, monkeypatch
+    ):
+        """A resumed crawl can itself be killed and resumed again."""
+        kill_fetcher_after(monkeypatch, 40)
+        with pytest.raises(KillSwitch):
+            checkpoint_system.crawl(
+                crawler_config=crawl_config("batched"),
+                fetch_failure_seed=FETCH_FAILURE_SEED,
+                checkpoint_dir=str(tmp_path / "crawl"),
+            )
+        monkeypatch.undo()
+
+        kill_fetcher_after(monkeypatch, 45)
+        with pytest.raises(KillSwitch):
+            checkpoint_system.crawl(resume_from=str(tmp_path / "crawl"))
+        monkeypatch.undo()
+
+        resumed = checkpoint_system.crawl(resume_from=str(tmp_path / "crawl"))
+        assert resumed.pages_fetched() == MAX_PAGES
+        resumed.database.close()
