@@ -12,6 +12,7 @@ identical relevance numbers and differ only in how they touch storage:
 """
 
 from .bulk_probe import BulkProbeClassifier
+from .compiled import CompiledHierarchicalModel
 from .features import FeatureSelectionConfig, fisher_scores, select_features
 from .model import HierarchicalModel, NodeModel, normalize_log_scores
 from .single_probe import (
@@ -39,6 +40,7 @@ __all__ = [
     "BulkProbeClassifier",
     "ClassificationResult",
     "ClassifierTrainer",
+    "CompiledHierarchicalModel",
     "FeatureSelectionConfig",
     "HierarchicalModel",
     "ModelInstaller",

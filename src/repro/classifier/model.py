@@ -24,12 +24,20 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Sequence
 
+from repro.core.caching import LRUCache
 from repro.taxonomy.tree import ROOT_CID, TopicTaxonomy
 
 from .tokenizer import TermFrequencies
 
 #: Log-probability floor used when normalising (avoids exp underflow noise).
 _MIN_LOG = -700.0
+
+#: Per-node bound on the cached term vectors of the shared-work batch path.
+#: Long crawls see an unbounded stream of distinct (mostly background)
+#: terms; without a bound the cache grows with crawl length.  Eviction is
+#: LRU (the same policy as the engine's outcome cache) and is harmless for
+#: correctness: a recomputed vector is bit-identical to the evicted one.
+TERM_VECTOR_CACHE_CAPACITY = 65536
 
 
 @dataclass
@@ -43,9 +51,13 @@ class NodeModel:
     logdenom: Dict[int, float]
     logtheta: Dict[tuple[int, int], float] = field(default_factory=dict)
     #: Lazily built per-term log-likelihood vectors (one float per child),
-    #: shared across documents by the batch classification path.
-    _term_vectors: Dict[int, tuple] = field(
-        default_factory=dict, compare=False, repr=False
+    #: shared across documents by the batch classification path.  Bounded
+    #: LRU (see :data:`TERM_VECTOR_CACHE_CAPACITY`) so a long crawl's tail
+    #: of rare terms cannot grow the cache without limit.
+    _term_vectors: LRUCache = field(
+        default_factory=lambda: LRUCache(TERM_VECTOR_CACHE_CAPACITY),
+        compare=False,
+        repr=False,
     )
 
     def class_conditional_loglikelihoods(self, document: TermFrequencies) -> Dict[int, float]:
@@ -84,14 +96,14 @@ class NodeModel:
         per (child, term), folded into one tuple so scoring a batch pays the
         dictionary probes only once per distinct term.
         """
-        vector = self._term_vectors.get(tid)
+        vector = self._term_vectors.peek(tid)
         if vector is None:
             logtheta = self.logtheta
             vector = tuple(
                 logtheta[(cid, tid)] if (cid, tid) in logtheta else -self.logdenom[cid]
                 for cid in self.child_cids
             )
-            self._term_vectors[tid] = vector
+            self._term_vectors.put(tid, vector)
         return vector
 
     def conditional_posteriors_shared(self, document: TermFrequencies) -> Dict[int, float]:
@@ -104,7 +116,11 @@ class NodeModel:
         """
         totals = [0.0] * len(self.child_cids)
         feature_tids = self.feature_tids
-        vectors = self._term_vectors
+        cache = self._term_vectors
+        # Below capacity no eviction can occur, so read the backing dict
+        # directly (seed-speed); at capacity, route through the LRU so
+        # recently used vectors survive eviction.
+        vectors = cache.raw if len(cache) < cache.capacity else cache
         for tid, freq in document.items():
             vector = vectors.get(tid)
             if vector is None:

@@ -59,7 +59,7 @@ def term_frequencies(document: Union[str, Sequence[str]]) -> TermFrequencies:
         tokens: Iterable[str] = tokenize_text(document)
     else:
         tokens = document
-    counts = Counter(term_id(token) for token in tokens)
+    counts = Counter(map(term_id, tokens))
     return TermFrequencies(dict(counts))
 
 

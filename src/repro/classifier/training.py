@@ -189,8 +189,22 @@ class ModelInstaller:
     def install(self, model: HierarchicalModel) -> None:
         """Create tables (if needed) and load the model's statistics into them."""
         self.create_tables(model)
+        self._check_schema_order(model)
         self._populate_taxonomy(model)
         self._populate_statistics(model)
+
+    def _check_schema_order(self, model: HierarchicalModel) -> None:
+        """Rows below are built positionally for bulk loading; pin the order."""
+        expected = {
+            "TAXONOMY": ("kcid", "pcid", "name", "type", "logprior", "logdenom"),
+            "BLOB": ("pcid", "tid", "stat"),
+        }
+        for cid in model.internal_cids():
+            expected[stat_table_name(cid)] = ("kcid", "tid", "logtheta")
+        for name, columns in expected.items():
+            actual = tuple(self.database.table(name).schema.column_names)
+            if actual != columns:
+                raise ValueError(f"{name} schema order {actual} != {columns}")
 
     def _populate_taxonomy(self, model: HierarchicalModel) -> None:
         taxonomy_table = self.database.table("TAXONOMY")
@@ -203,15 +217,16 @@ class ModelInstaller:
             )
             logprior = parent_model.logprior.get(node.cid) if parent_model else None
             logdenom = parent_model.logdenom.get(node.cid) if parent_model else None
+            # Positional, in the order create_tables defines.
             rows.append(
-                {
-                    "kcid": node.cid,
-                    "pcid": parent_cid,
-                    "name": node.name or "root",
-                    "type": node.mark.value,
-                    "logprior": logprior,
-                    "logdenom": logdenom,
-                }
+                (
+                    node.cid,
+                    parent_cid,
+                    node.name or "root",
+                    node.mark.value,
+                    logprior,
+                    logdenom,
+                )
             )
         taxonomy_table.insert_many(rows)
 
@@ -222,13 +237,13 @@ class ModelInstaller:
             stat_table = self.database.table(stat_table_name(cid))
             stat_table.truncate()
             stat_rows = [
-                {"kcid": kcid, "tid": tid, "logtheta": value}
+                (kcid, tid, value)
                 for (kcid, tid), value in sorted(node_model.logtheta.items(), key=lambda kv: kv[0][1])
             ]
             stat_table.insert_many(stat_rows)
             blob_table.insert_many(self._blob_rows(cid, node_model))
 
-    def _blob_rows(self, cid: int, node_model: NodeModel) -> List[dict]:
+    def _blob_rows(self, cid: int, node_model: NodeModel) -> List[tuple]:
         by_tid: Dict[int, List[tuple[int, float]]] = {}
         for (kcid, tid), value in node_model.logtheta.items():
             by_tid.setdefault(tid, []).append((kcid, value))
@@ -237,7 +252,7 @@ class ModelInstaller:
             payload = b"".join(
                 _BLOB_RECORD.pack(kcid, value) for kcid, value in sorted(records)
             )
-            rows.append({"pcid": cid, "tid": tid, "stat": payload})
+            rows.append((cid, tid, payload))
         return rows
 
     @staticmethod

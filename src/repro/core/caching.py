@@ -1,0 +1,83 @@
+"""Small shared caching primitives used on the crawl hot paths.
+
+One LRU policy, reused everywhere a hot-path cache needs bounding: the
+engine's classification-outcome cache (keyed by page oid) and the
+classifier's per-node term-vector cache (keyed by term id) both wrap
+:class:`LRUCache`.  The implementation leans on CPython's insertion-
+ordered dicts: a hit is refreshed with a delete + reinsert (both O(1)),
+and eviction removes the first key in iteration order — the least
+recently used entry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional
+
+#: Sentinel distinguishing "absent" from a stored None.
+_MISSING = object()
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction and hit counters.
+
+    ``capacity=0`` disables the cache entirely (gets miss, puts are
+    dropped) — useful for switching a cache off via configuration without
+    branching at every call site.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "_data")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = max(int(capacity), 0)
+        self.hits = 0
+        self.misses = 0
+        self._data: Dict[Any, Any] = {}
+
+    def get(self, key: Any) -> Optional[Any]:
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return None
+        # Refresh recency: delete + reinsert moves the key to the back of
+        # the dict's insertion order in O(1).
+        del self._data[key]
+        self._data[key] = value
+        self.hits += 1
+        return value
+
+    def peek(self, key: Any) -> Optional[Any]:
+        """Read without refreshing recency or touching the counters."""
+        return self._data.get(key)
+
+    @property
+    def raw(self) -> Dict[Any, Any]:
+        """The backing dict, for read-only fast paths.
+
+        While the cache is below capacity no eviction can happen, so hot
+        loops may probe this dict directly (a single C-level ``get``)
+        instead of paying the per-hit recency refresh; once full they must
+        switch back to :meth:`get` so the LRU order stays meaningful.
+        """
+        return self._data
+
+    def put(self, key: Any, value: Any) -> None:
+        if self.capacity == 0:
+            return
+        data = self._data
+        if key in data:
+            del data[key]
+        data[key] = value
+        while len(data) > self.capacity:
+            del data[next(iter(data))]
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()

@@ -78,16 +78,23 @@ def create_crawl_tables(database: Database) -> None:
 
 
 def create_focus_database(
-    buffer_pool_pages: int = 2048, path: Optional[str] = None
+    buffer_pool_pages: int = 2048,
+    path: Optional[str] = None,
+    wal_fsync_batch: int = 0,
 ) -> Database:
     """A database with the crawl tables created.
 
     With *path* the database is durable (segment file + WAL at that
     directory) and an existing directory is recovered, so crawls survive
     restarts; without it the store is in-memory, as in the seed.
+    ``wal_fsync_batch`` (durable only) turns on WAL group commit: an
+    fsync at least once per N logged records instead of only at
+    checkpoints.
     """
     if path is not None:
-        database = Database.open(path, buffer_pool_pages=buffer_pool_pages)
+        database = Database.open(
+            path, buffer_pool_pages=buffer_pool_pages, wal_fsync_batch=wal_fsync_batch
+        )
     else:
         database = Database(buffer_pool_pages=buffer_pool_pages)
     create_crawl_tables(database)

@@ -241,7 +241,9 @@ class FocusSystem:
             config.max_pages = max_pages
         if database is None:
             database = create_focus_database(
-                self.config.buffer_pool_pages, path=checkpoint_dir
+                self.config.buffer_pool_pages,
+                path=checkpoint_dir,
+                wal_fsync_batch=config.wal_fsync_batch,
             )
         if checkpoint_dir is not None and database.app_state() is not None:
             database.close()
@@ -304,6 +306,10 @@ class FocusSystem:
         config = checkpoint.config
         if max_pages is not None:
             config.max_pages = max_pages
+        # Honour the crawl's WAL group-commit policy after the reopen (the
+        # checkpoint is read from the database, so open() could not know it).
+        if getattr(config, "wal_fsync_batch", 0):
+            database.backend.wal.fsync_batch = config.wal_fsync_batch
         fetcher = Fetcher(self.web, failure_seed=checkpoint.fetch_failure_seed)
         fetcher.restore_state(checkpoint.fetcher_state)
         self.web.servers.restore_rng(checkpoint.server_rng_state)

@@ -36,13 +36,18 @@ bounded web, converges to the same crawl set.
 
 from __future__ import annotations
 
+import os
+import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.classifier.compiled import CompiledHierarchicalModel
 from repro.classifier.model import BatchClassification, HierarchicalModel
 from repro.classifier.tokenizer import TermFrequencies, term_frequencies
+from repro.core.caching import LRUCache
+from repro.distiller.compiled import compile_links, compiled_weighted_hits
 from repro.distiller.db_distiller import IncrementalDistiller
 from repro.distiller.hits import DistillationResult, weighted_hits
 from repro.distiller.weights import Link
@@ -62,6 +67,19 @@ _UNFOCUSED_PRIORITY = 0.0
 
 #: Engine modes accepted by ``CrawlerConfig.engine``.
 ENGINE_MODES = ("auto", "serial", "batched")
+
+#: Scoring backends accepted by ``CrawlerConfig.score_backend``.
+SCORE_BACKENDS = ("python", "numpy")
+
+
+def _default_score_backend() -> str:
+    """The session default: ``REPRO_SCORE_BACKEND`` env var, else ``"python"``.
+
+    The env override lets CI (and operators) run the whole system on the
+    columnar backend without threading a flag through every entry point;
+    the in-repo default stays the seed-faithful ``"python"`` path.
+    """
+    return os.environ.get("REPRO_SCORE_BACKEND", "python")
 
 
 @dataclass
@@ -100,6 +118,14 @@ class CrawlerConfig:
     #: Save a crawl checkpoint every this many successful fetches (0 disables;
     #: requires a durable database and an attached checkpoint manager).
     checkpoint_every: int = 0
+    #: Scoring backend: "python" is the seed-faithful reference path
+    #: (bit-for-bit); "numpy" compiles classification and distillation
+    #: into columnar array kernels (1e-9-equivalent, several times faster).
+    score_backend: str = field(default_factory=_default_score_backend)
+    #: Group-commit batch for the write-ahead log of a durable crawl
+    #: database: 0 keeps the seed behaviour (OS flush per record, fsync
+    #: only at checkpoints); N >= 1 fsyncs once per N appended records.
+    wal_fsync_batch: int = 0
 
 
 @dataclass
@@ -136,39 +162,15 @@ class CrawlTrace:
         return set(self.fetched_urls)
 
 
-class OutcomeLRU:
+class OutcomeLRU(LRUCache):
     """A small LRU of classification outcomes keyed by page oid.
 
     Lets the batched pipeline skip re-scoring a page whose posterior was
     computed recently — relevant for retry storms and for the §3.2 crawl
-    maintenance orderings that revisit known pages.
+    maintenance orderings that revisit known pages.  The eviction policy
+    lives in the shared :class:`~repro.core.caching.LRUCache`; the
+    classifier's term-vector cache reuses the same policy.
     """
-
-    def __init__(self, capacity: int) -> None:
-        self.capacity = max(int(capacity), 0)
-        self.hits = 0
-        self.misses = 0
-        self._data: "OrderedDict[int, BatchClassification]" = OrderedDict()
-
-    def get(self, oid: int) -> Optional[BatchClassification]:
-        outcome = self._data.get(oid)
-        if outcome is None:
-            self.misses += 1
-            return None
-        self._data.move_to_end(oid)
-        self.hits += 1
-        return outcome
-
-    def put(self, oid: int, outcome: BatchClassification) -> None:
-        if self.capacity == 0:
-            return
-        self._data[oid] = outcome
-        self._data.move_to_end(oid)
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
-
-    def __len__(self) -> int:
-        return len(self._data)
 
 
 class BufferedLinkWriter:
@@ -199,13 +201,13 @@ class BufferedLinkWriter:
             self.table.insert_many(self._rows)
             self._rows = []
         updated: List[RecordId] = []
-        updates: List[Tuple[RecordId, Dict[str, float]]] = []
+        updates: List[Tuple[RecordId, float]] = []
         for oid, relevance in self._refresh.items():
             for rid in self.table.lookup_rids("link_dst", (oid,)):
-                updates.append((rid, {"wgt_fwd": relevance}))
+                updates.append((rid, relevance))
                 updated.append(rid)
         if updates:
-            self.table.update_rows(updates)
+            self.table.update_column("wgt_fwd", updates)
         self._refresh = OrderedDict()
         return updated
 
@@ -226,6 +228,11 @@ class CrawlEngine:
         if config.engine not in ENGINE_MODES:
             raise ValueError(
                 f"unknown engine mode {config.engine!r}; expected one of {ENGINE_MODES}"
+            )
+        if config.score_backend not in SCORE_BACKENDS:
+            raise ValueError(
+                f"unknown score backend {config.score_backend!r}; "
+                f"expected one of {SCORE_BACKENDS}"
             )
         if config.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -250,6 +257,17 @@ class CrawlEngine:
         self._link_writer = BufferedLinkWriter(database.table("LINK"))
         self._incremental: Optional[IncrementalDistiller] = None
         self._pool: Optional[ThreadPoolExecutor] = None
+        #: Columnar scorer (score_backend="numpy"), compiled lazily so the
+        #: python path never pays for it.
+        self._compiled_model: Optional[CompiledHierarchicalModel] = None
+        #: Cumulative wall-clock seconds per pipeline stage (monitoring and
+        #: the throughput bench's per-stage breakdown).
+        self.stage_timings: Dict[str, float] = {
+            "fetch": 0.0,
+            "classify": 0.0,
+            "write": 0.0,
+            "distill": 0.0,
+        }
         # Link rows are built positionally for bulk loading; pin the order.
         link_columns = tuple(database.table("LINK").schema.column_names)
         expected = ("oid_src", "sid_src", "oid_dst", "sid_dst", "wgt_fwd", "wgt_rev")
@@ -277,10 +295,19 @@ class CrawlEngine:
 
     def run_distillation(self) -> DistillationResult:
         """Re-score hubs/authorities over the current crawl graph and boost frontier URLs."""
-        relevance = self.relevance_map()
+        started = time.perf_counter()
+        # The live map is safe to hand over: distillation only reads it.
+        relevance = self._relevance
         if self.batched:
             result = self._incremental_distiller().run(
                 relevance, max_iterations=self.config.distill_iterations
+            )
+        elif self.config.score_backend == "numpy":
+            result = compiled_weighted_hits(
+                compile_links(self.links_from_table()),
+                relevance=relevance,
+                rho=self.config.rho,
+                max_iterations=self.config.distill_iterations,
             )
         else:
             result = weighted_hits(
@@ -294,6 +321,7 @@ class CrawlEngine:
         self.trace.distillations += 1
         self.trace.last_distillation = result
         self._since_distillation = 0
+        self.stage_timings["distill"] += time.perf_counter() - started
         return result
 
     def links_from_table(self) -> list[Link]:
@@ -400,7 +428,9 @@ class CrawlEngine:
 
     def _visit_serial(self, url: str) -> bool:
         """Fetch, classify, persist, and expand one URL.  Returns True on success."""
+        started = time.perf_counter()
         result = self.fetcher.fetch(url)
+        self.stage_timings["fetch"] += time.perf_counter() - started
         if result.status is FetchStatus.NOT_FOUND:
             self.frontier.record_failure(url, self.config.max_retries, permanent=True)
             self.trace.failed_urls.append(url)
@@ -411,34 +441,49 @@ class CrawlEngine:
             return False
 
         self._tick += 1
+        started = time.perf_counter()
         frequencies = term_frequencies(result.tokens)
-        relevance = self.classifier.relevance(frequencies)
-        best_leaf = (
-            self.classifier.best_leaf(frequencies) if self.config.record_best_leaf else None
-        )
+        if self.config.score_backend == "numpy":
+            outcome = self._scorer().classify_batch([frequencies])[0]
+            relevance = outcome.relevance
+            best_leaf = outcome.best_leaf_cid if self.config.record_best_leaf else None
+            hard_accepts = (
+                self.taxonomy.good_ancestor_of(outcome.best_leaf_cid) is not None
+                if self.config.focus_mode == "hard"
+                else True
+            )
+        else:
+            relevance = self.classifier.relevance(frequencies)
+            best_leaf = (
+                self.classifier.best_leaf(frequencies) if self.config.record_best_leaf else None
+            )
+            hard_accepts = (
+                self.classifier.hard_focus_accepts(frequencies)
+                if self.config.focus_mode == "hard"
+                else True
+            )
+        self.stage_timings["classify"] += time.perf_counter() - started
         entry = self.frontier.record_visit(url, relevance, self._tick, kcid=best_leaf)
         self._relevance[entry.oid] = relevance
-        self._record_links_serial(entry, result.out_links, relevance)
-        hard_accepts = (
-            self.classifier.hard_focus_accepts(frequencies)
-            if self.config.focus_mode == "hard"
-            else True
-        )
-        self._expand(result.out_links, relevance, hard_accepts)
+        started = time.perf_counter()
+        expansion = self._record_links_serial(entry, result.out_links, relevance)
+        self.stage_timings["write"] += time.perf_counter() - started
+        self._expand(expansion, relevance, hard_accepts)
         self._finish_visit(url, result, relevance, best_leaf)
         return True
 
     def _record_links_serial(
         self, source_entry: FrontierEntry, targets: Sequence[str], relevance: float
-    ) -> None:
+    ) -> List[Tuple[str, int, int]]:
         """Insert the page's LINK rows and refresh incoming E_F weights immediately."""
         link_table = self.database.table("LINK")
-        rows = self._link_rows(source_entry, targets, relevance)
+        rows, expansion = self._link_rows(source_entry, targets, relevance)
         if rows:
             link_table.insert_many(rows)
         # Refresh E_F of edges that point at the page we just classified.
         for rid in link_table.lookup_rids("link_dst", (source_entry.oid,)):
             link_table.update_row(rid, {"wgt_fwd": relevance})
+        return expansion
 
     # -- batched mode ----------------------------------------------------------------
     def _run_batched(self, budget: int) -> CrawlTrace:
@@ -452,7 +497,9 @@ class CrawlEngine:
             if not urls:
                 self.trace.stagnated = True
                 break
+            started = time.perf_counter()
             results = self._fetch_stage(urls)
+            self.stage_timings["fetch"] += time.perf_counter() - started
             self.frontier.begin_batch()
             fetched: List[Tuple[str, FetchResult]] = []
             for url, result in zip(urls, results):
@@ -467,11 +514,15 @@ class CrawlEngine:
                 if self._stagnation_misses >= config.stagnation_patience:
                     self.trace.stagnated = True
                     stop = True
+            started = time.perf_counter()
             outcomes = self._classify_stage(fetched)
+            self.stage_timings["classify"] += time.perf_counter() - started
             for (url, result), outcome in zip(fetched, outcomes):
                 self._commit_visit(url, result, outcome)
+            started = time.perf_counter()
             self.frontier.flush_batch()
             updated = self._link_writer.flush()
+            self.stage_timings["write"] += time.perf_counter() - started
             if updated:
                 self._incremental_distiller().note_updated(updated)
             if (
@@ -516,9 +567,12 @@ class CrawlEngine:
                 pending.append(term_frequencies(result.tokens))
                 positions.append((index, oid))
         if pending:
-            for (index, oid), outcome in zip(
-                positions, self.classifier.classify_batch(pending)
-            ):
+            scorer = (
+                self._scorer()
+                if self.config.score_backend == "numpy"
+                else self.classifier
+            )
+            for (index, oid), outcome in zip(positions, scorer.classify_batch(pending)):
                 outcomes[index] = outcome
                 self._outcome_cache.put(oid, outcome)
         return outcomes  # type: ignore[return-value]
@@ -530,14 +584,14 @@ class CrawlEngine:
         best_leaf = outcome.best_leaf_cid if self.config.record_best_leaf else None
         entry = self.frontier.record_visit(url, relevance, self._tick, kcid=best_leaf)
         self._relevance[entry.oid] = relevance
-        rows = self._link_rows(entry, result.out_links, relevance)
+        rows, expansion = self._link_rows(entry, result.out_links, relevance)
         self._link_writer.record(rows, entry.oid, relevance)
         hard_accepts = (
             self.taxonomy.good_ancestor_of(outcome.best_leaf_cid) is not None
             if self.config.focus_mode == "hard"
             else True
         )
-        self._expand(result.out_links, relevance, hard_accepts)
+        self._expand(expansion, relevance, hard_accepts)
         self._finish_visit(url, result, relevance, best_leaf)
 
     # -- shared steps ----------------------------------------------------------------
@@ -573,19 +627,27 @@ class CrawlEngine:
             self._since_checkpoint = 0
             self.checkpointer.save()
 
-    def _expand(self, out_links: Sequence[str], relevance: float, hard_accepts: bool) -> None:
-        """Apply the focus rule to decide whether/with what priority to enqueue out-links."""
+    def _expand(
+        self, expansion: Sequence[Tuple[str, int, int]], relevance: float, hard_accepts: bool
+    ) -> None:
+        """Apply the focus rule to decide whether/with what priority to enqueue out-links.
+
+        *expansion* is the pre-resolved ``(normalized, oid, sid)`` target
+        list built by :meth:`_link_rows`, so enqueueing never re-derives
+        URL hashes.  (It is de-duplicated and excludes self-links; both
+        were no-ops under per-target ``add_url`` — a duplicate or the
+        just-visited page can never raise its own frontier priority.)
+        """
         mode = self.config.focus_mode
         if mode == "hard" and not hard_accepts:
             return
         priority = relevance if mode != "none" else _UNFOCUSED_PRIORITY
-        for target in out_links:
-            self.frontier.add_url(target, relevance=priority)
+        self.frontier.add_many(expansion, priority)
 
     def _link_rows(
         self, source_entry: FrontierEntry, targets: Sequence[str], relevance: float
-    ) -> List[tuple]:
-        """LINK rows (in schema order) for a page's out-links.
+    ) -> Tuple[List[tuple], List[Tuple[str, int, int]]]:
+        """LINK rows (in schema order) plus the expansion triples for a page.
 
         ``wgt_rev`` of the new edges is the source's relevance (E_B).
         ``wgt_fwd`` (E_F) needs the *destination's* relevance: known
@@ -593,8 +655,13 @@ class CrawlEngine:
         source relevance until they are visited; edges pointing *to* this
         page are refreshed once its own relevance is known (immediately in
         serial mode, at round flush in batched mode).
+
+        The second return value carries each distinct non-self target as
+        ``(normalized_url, oid, sid)`` for :meth:`_expand`, sharing the
+        normalisation/hash work already done here.
         """
         rows: List[tuple] = []
+        expansion: List[Tuple[str, int, int]] = []
         seen: set[int] = set()
         for target in targets:
             normalized = normalize_url(target)
@@ -602,8 +669,8 @@ class CrawlEngine:
             if target_oid in seen or target_oid == source_entry.oid:
                 continue
             seen.add(target_oid)
-            if target in self.frontier:
-                target_entry = self.frontier.entry(target)
+            target_entry = self.frontier.get_normalized(normalized)
+            if target_entry is not None:
                 target_sid = target_entry.sid
                 forward = (
                     target_entry.relevance if target_entry.status == "visited" else relevance
@@ -621,7 +688,20 @@ class CrawlEngine:
                     relevance,
                 )
             )
-        return rows
+            expansion.append((normalized, target_oid, target_sid))
+        return rows, expansion
+
+    # -- scoring plumbing ------------------------------------------------------------
+    def _scorer(self) -> CompiledHierarchicalModel:
+        """The columnar classifier, compiled on first use (numpy backend only).
+
+        Compiled per engine — i.e. per crawl run — so taxonomy re-marking
+        between crawls is always reflected; the compiled arrays are a pure
+        cache and are rebuilt (identically) after a checkpoint resume.
+        """
+        if self._compiled_model is None:
+            self._compiled_model = CompiledHierarchicalModel(self.classifier)
+        return self._compiled_model
 
     # -- distillation plumbing -------------------------------------------------------
     def _incremental_distiller(self) -> IncrementalDistiller:
@@ -630,6 +710,7 @@ class CrawlEngine:
                 self.database,
                 rho=self.config.rho,
                 max_iterations=self.config.distill_iterations,
+                backend=self.config.score_backend,
             )
         return self._incremental
 
@@ -647,7 +728,6 @@ class CrawlEngine:
         if not result.hub_scores or self.config.hub_boost_top_k <= 0:
             return
         top_hubs = {oid for oid, _ in result.top_hubs(self.config.hub_boost_top_k)}
-        by_oid = {self.frontier.entry(u).oid: u for u in self.frontier.known_urls()}
         link_table = self.database.table("LINK")
         schema = link_table.schema
         for hub_oid in top_hubs:
@@ -655,7 +735,7 @@ class CrawlEngine:
                 mapping = schema.row_to_mapping(row)
                 if mapping["sid_src"] == mapping["sid_dst"]:
                     continue
-                target_url = by_oid.get(mapping["oid_dst"])
+                target_url = self.frontier.url_of_oid(mapping["oid_dst"])
                 if target_url is None:
                     continue
                 self.frontier.boost(target_url, self.config.hub_boost_priority)

@@ -110,17 +110,15 @@ class FocusedCrawler:
         """URL/score pairs of the current best hubs."""
         if self.trace.last_distillation is None:
             self.run_distillation()
-        by_oid = {self.frontier.entry(u).oid: u for u in self.frontier.known_urls()}
         return [
-            (by_oid.get(oid, str(oid)), score)
+            (self.frontier.url_of_oid(oid) or str(oid), score)
             for oid, score in self.trace.last_distillation.top_hubs(k)
         ]
 
     def top_authorities(self, k: int = 10) -> list[tuple[str, float]]:
         if self.trace.last_distillation is None:
             self.run_distillation()
-        by_oid = {self.frontier.entry(u).oid: u for u in self.frontier.known_urls()}
         return [
-            (by_oid.get(oid, str(oid)), score)
+            (self.frontier.url_of_oid(oid) or str(oid), score)
             for oid, score in self.trace.last_distillation.top_authorities(k)
         ]

@@ -69,7 +69,19 @@ class Frontier:
     ) -> None:
         self.database = database
         self.ordering = ordering or aggressive_discovery()
+        self._entry_key = self.ordering.compile_entry_key()
+        # CRAWL rows are built positionally for bulk loading; pin the order.
+        crawl_columns = tuple(database.table("CRAWL").schema.column_names)
+        expected = (
+            "oid", "url", "sid", "relevance", "numtries",
+            "serverload", "lastvisited", "kcid", "status",
+        )
+        if crawl_columns != expected:
+            raise ValueError(f"CRAWL schema order {crawl_columns} != {expected}")
         self._entries: Dict[str, FrontierEntry] = {}
+        #: oid -> normalized URL of every known entry (distillation results
+        #: are keyed by oid; this avoids rebuilding the inverse per lookup).
+        self._url_of_oid: Dict[int, str] = {}
         self._server_load: Dict[int, int] = {}
         self._heap: list[tuple[tuple, int, str]] = []
         # A plain int (not itertools.count) so checkpoints can persist it.
@@ -83,6 +95,7 @@ class Frontier:
     def set_ordering(self, ordering: CrawlOrdering) -> None:
         """Switch crawl policy dynamically (the paper's one-line policy change)."""
         self.ordering = ordering
+        self._entry_key = ordering.compile_entry_key()
         self._rebuild_heap()
 
     def _rebuild_heap(self) -> None:
@@ -104,6 +117,14 @@ class Frontier:
     def entry(self, url: str) -> FrontierEntry:
         return self._entries[normalize_url(url)]
 
+    def get_normalized(self, normalized_url: str) -> Optional[FrontierEntry]:
+        """Entry lookup for a URL the caller has *already normalised*.
+
+        One dict probe; the hot link-recording path normalises every
+        target anyway and should not pay for it twice.
+        """
+        return self._entries.get(normalized_url)
+
     def is_empty(self) -> bool:
         return len(self) == 0
 
@@ -117,13 +138,19 @@ class Frontier:
         normalized = normalize_url(url)
         existing = self._entries.get(normalized)
         if existing is not None:
-            if existing.status == "frontier" and relevance > existing.relevance:
-                existing.relevance = relevance
-                self._sync_row(existing, {"relevance": relevance})
-                self._push(existing)
+            self._raise_priority(existing, relevance)
             return existing
-        oid = url_oid(normalized)
-        sid = server_sid(normalized)
+        return self._add_entry(normalized, url_oid(normalized), server_sid(normalized), relevance)
+
+    def _raise_priority(self, entry: FrontierEntry, relevance: float) -> None:
+        if entry.status == "frontier" and relevance > entry.relevance:
+            entry.relevance = relevance
+            self._sync_row(entry, {"relevance": relevance})
+            self._push(entry)
+
+    def _add_entry(
+        self, normalized: str, oid: int, sid: int, relevance: float
+    ) -> FrontierEntry:
         entry = FrontierEntry(
             url=normalized,
             oid=oid,
@@ -138,22 +165,44 @@ class Frontier:
         else:
             entry.rid = self.database.table("CRAWL").insert(self._crawl_row(entry))
         self._entries[normalized] = entry
+        self._url_of_oid[oid] = normalized
         self._push(entry)
         return entry
 
-    def _crawl_row(self, entry: FrontierEntry) -> Dict[str, Any]:
+    def url_of_oid(self, oid: int) -> Optional[str]:
+        """The known URL with object id *oid*, if any (distillation views)."""
+        return self._url_of_oid.get(oid)
+
+    def add_many(self, targets, relevance: float) -> None:
+        """Bulk :meth:`add_url` over pre-resolved ``(normalized, oid, sid)`` triples.
+
+        The link-recording path has already normalised and hashed every
+        out-link target; this entry point skips re-deriving them.  Per
+        target the semantics are exactly :meth:`add_url`'s (shared
+        helpers, so the two can never drift apart).
+        """
+        entries = self._entries
+        for normalized, oid, sid in targets:
+            existing = entries.get(normalized)
+            if existing is not None:
+                self._raise_priority(existing, relevance)
+            else:
+                self._add_entry(normalized, oid, sid, relevance)
+
+    def _crawl_row(self, entry: FrontierEntry) -> tuple:
+        """The entry's CRAWL row, positional in the pinned schema order."""
         status = "frontier" if entry.status == "in_flight" else entry.status
-        return {
-            "oid": entry.oid,
-            "url": entry.url,
-            "sid": entry.sid,
-            "relevance": entry.relevance,
-            "numtries": entry.numtries,
-            "serverload": entry.serverload,
-            "lastvisited": entry.lastvisited,
-            "kcid": None,
-            "status": status,
-        }
+        return (
+            entry.oid,
+            entry.url,
+            entry.sid,
+            entry.relevance,
+            entry.numtries,
+            entry.serverload,
+            entry.lastvisited,
+            None,  # kcid: unknown until the page is classified
+            status,
+        )
 
     def add_seed(self, url: str) -> FrontierEntry:
         """Seeds (the examples D(C*)) enter with maximal priority."""
@@ -261,11 +310,9 @@ class Frontier:
 
     # -- internals ------------------------------------------------------------------------------
     def _current_key(self, entry: FrontierEntry) -> tuple:
-        record = entry.as_record()
         # The crude, lazily-updated serverload of the paper: read the shared
         # per-server counter at key-construction time.
-        record["serverload"] = self._server_load.get(entry.sid, 0)
-        return self.ordering.sort_key(record)
+        return self._entry_key(entry, self._server_load.get(entry.sid, 0))
 
     def _push(self, entry: FrontierEntry) -> None:
         # Tie-break equal ordering keys by oid — a stable function of the
@@ -309,8 +356,8 @@ class Frontier:
             entry = self._entries[url]
             if entry.rid is None:
                 continue
-            changes = dict(changes)
             if changes.get("status") == "in_flight":
+                changes = dict(changes)
                 changes["status"] = "frontier"
             updates.append((entry.rid, changes))
         if updates:
@@ -356,12 +403,14 @@ class Frontier:
         are re-keyed on pop anyway, so checkout order is unchanged.
         """
         self._entries = {}
+        self._url_of_oid = {}
         for field_map, rid in state["entries"]:
             entry = FrontierEntry(**field_map)
             if rid is not None:
                 file_id, page_no, slot = rid
                 entry.rid = RecordId(PageId(file_id, page_no), slot)
             self._entries[entry.url] = entry
+            self._url_of_oid[entry.oid] = entry.url
         self._server_load = dict(state["server_load"])
         self._next_discovered = state["next_discovered"]
         self._rebuild_heap()

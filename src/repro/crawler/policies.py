@@ -53,6 +53,34 @@ class CrawlOrdering:
     def columns(self) -> list[str]:
         return [column for column, _ in self.keys]
 
+    def compile_entry_key(self):
+        """A fast key function over :class:`~repro.crawler.frontier.FrontierEntry`.
+
+        Equivalent to ``sort_key(record)`` on the entry's record form, but
+        reads entry attributes directly and resolves buckets once, instead
+        of building an 8-field dict per heap push.  ``serverload`` is
+        passed in by the caller (it is the lazily shared per-server
+        counter, not the entry's possibly stale copy).
+        """
+        bucket_map = dict(self.buckets)
+        specs = tuple(
+            (column, ascending, bucket_map.get(column, 0))
+            for column, ascending in self.keys
+        )
+
+        def entry_key(entry, serverload) -> tuple:
+            parts = []
+            for column, ascending, bucket in specs:
+                value = serverload if column == "serverload" else getattr(entry, column)
+                if value is None:
+                    value = 0
+                if bucket:
+                    value = int(value) // bucket
+                parts.append(value if ascending else -value)
+            return tuple(parts)
+
+        return entry_key
+
 
 def aggressive_discovery(serverload_bucket: int = 16) -> CrawlOrdering:
     """The paper's default: seek out new resources as fast as possible.

@@ -7,7 +7,9 @@ derived from the classifier's relevance judgements so prestige does not
 leak to off-topic pages.
 """
 
+from .compiled import CompiledLinkGraph, compile_links, compiled_weighted_hits
 from .db_distiller import (
+    DISTILL_BACKENDS,
     DistillerCost,
     IncrementalDistiller,
     IndexLookupDistiller,
@@ -18,6 +20,8 @@ from .hits import DistillationResult, weighted_hits
 from .weights import Link, assign_weights, backward_weight, forward_weight
 
 __all__ = [
+    "CompiledLinkGraph",
+    "DISTILL_BACKENDS",
     "DistillationResult",
     "DistillerCost",
     "IncrementalDistiller",
@@ -27,6 +31,8 @@ __all__ = [
     "Link",
     "assign_weights",
     "backward_weight",
+    "compile_links",
+    "compiled_weighted_hits",
     "forward_weight",
     "weighted_hits",
 ]

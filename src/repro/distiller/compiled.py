@@ -1,0 +1,208 @@
+"""Columnar distillation: LINK adjacency as arrays, HITS as matvecs.
+
+The reference :func:`~repro.distiller.hits.weighted_hits` walks Python
+edge lists and dicts per iteration.  This module keeps the crawl graph
+in columnar form — parallel NumPy arrays over the non-nepotistic edges,
+in LINK-heap append order — and runs each HITS half-step as a
+``np.bincount`` scatter-add (a CSR matvec without leaving NumPy):
+
+    a  <-  F^T  (h * w_fwd)        restricted to relevance > rho
+    h  <-  B    (a * w_rev)
+
+:class:`CompiledLinkGraph` supports exactly the two mutations the
+crawler performs — appending new edges and patching weights in place —
+so :class:`~repro.distiller.db_distiller.LinkDeltaCache` folds its
+deltas into the compiled arrays instead of rebuilding them per
+distillation.  Scores agree with the reference implementation to 1e-9
+(tests enforce this); within the compiled backend results are
+deterministic functions of the edge list in append order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional
+
+import numpy as np
+
+from .hits import DistillationResult
+from .weights import Link
+
+#: Array slot marking "no stored weight, fall back to endpoint relevance"
+#: (the reference path's ``None`` weights).
+_NO_WEIGHT = math.nan
+
+
+class CompiledLinkGraph:
+    """Columnar adjacency over the non-nepotistic crawl edges.
+
+    Edges are kept in append order (the LINK heap's scan order), so the
+    scatter-add accumulation visits contributions in the same sequence
+    as the reference edge walk.  Oids are densified on first appearance;
+    the dense index is append-stable, making compiled scores a pure
+    function of the edge list regardless of when the graph was built
+    (checkpoint resume rebuilds it from the recovered heap).
+    """
+
+    def __init__(self) -> None:
+        self._src: List[int] = []
+        self._dst: List[int] = []
+        self._fwd: List[float] = []
+        self._rev: List[float] = []
+        self._index_of_oid: Dict[int, int] = {}
+        self._oids: List[int] = []
+        self._position: Dict[object, int] = {}
+        self._arrays: Optional[tuple] = None
+
+    def __len__(self) -> int:
+        return len(self._src)
+
+    def _densify(self, oid: int) -> int:
+        index = self._index_of_oid.get(oid)
+        if index is None:
+            index = len(self._oids)
+            self._index_of_oid[oid] = index
+            self._oids.append(oid)
+        return index
+
+    def add(self, link: Link, key: object = None) -> None:
+        """Append one edge; nepotistic edges are dropped (never contribute).
+
+        *key* (e.g. a heap record id) registers the edge for later
+        in-place weight updates via :meth:`update`.
+        """
+        if link.is_nepotistic:
+            return
+        if key is not None:
+            self._position[key] = len(self._src)
+        self._src.append(self._densify(link.oid_src))
+        self._dst.append(self._densify(link.oid_dst))
+        self._fwd.append(_NO_WEIGHT if link.wgt_fwd is None else link.wgt_fwd)
+        self._rev.append(_NO_WEIGHT if link.wgt_rev is None else link.wgt_rev)
+        self._arrays = None
+
+    def update(self, key: object, link: Link) -> None:
+        """Patch the weights of a previously added edge in place."""
+        position = self._position.get(key)
+        if position is None:  # nepotistic (or never compiled) edge: no-op
+            return
+        self._fwd[position] = _NO_WEIGHT if link.wgt_fwd is None else link.wgt_fwd
+        self._rev[position] = _NO_WEIGHT if link.wgt_rev is None else link.wgt_rev
+        self._arrays = None
+
+    # -- raw LINK-row fast path (delta cache feed) -------------------------
+    def add_row(self, row: tuple, key: object) -> None:
+        """:meth:`add` taking a LINK heap row in pinned schema order.
+
+        ``(oid_src, sid_src, oid_dst, sid_dst, wgt_fwd, wgt_rev)`` — lets
+        the delta cache fold rows without materialising ``Link`` objects.
+        """
+        oid_src, sid_src, oid_dst, sid_dst, wgt_fwd, wgt_rev = row
+        if sid_src == sid_dst:
+            return
+        self._position[key] = len(self._src)
+        self._src.append(self._densify(oid_src))
+        self._dst.append(self._densify(oid_dst))
+        self._fwd.append(_NO_WEIGHT if wgt_fwd is None else wgt_fwd)
+        self._rev.append(_NO_WEIGHT if wgt_rev is None else wgt_rev)
+        self._arrays = None
+
+    def update_row(self, key: object, row: tuple) -> None:
+        position = self._position.get(key)
+        if position is None:
+            return
+        wgt_fwd, wgt_rev = row[4], row[5]
+        self._fwd[position] = _NO_WEIGHT if wgt_fwd is None else wgt_fwd
+        self._rev[position] = _NO_WEIGHT if wgt_rev is None else wgt_rev
+        self._arrays = None
+
+    def extend(self, links: Iterable[Link]) -> None:
+        for link in links:
+            self.add(link)
+
+    def arrays(self):
+        """The (src, dst, fwd, rev, oids) columns, rebuilt only when dirty.
+
+        ``oids`` stays a Python list: page oids are unsigned 64-bit URL
+        hashes that can overflow a C long, and the kernels only ever use
+        them to translate dense indexes back to dictionary keys.
+        """
+        if self._arrays is None:
+            self._arrays = (
+                np.asarray(self._src, dtype=np.int64),
+                np.asarray(self._dst, dtype=np.int64),
+                np.asarray(self._fwd, dtype=np.float64),
+                np.asarray(self._rev, dtype=np.float64),
+                self._oids,
+            )
+        return self._arrays
+
+
+def compile_links(links: Iterable[Link]) -> CompiledLinkGraph:
+    """Compile a full edge list (the serial, full-table distillation feed)."""
+    graph = CompiledLinkGraph()
+    graph.extend(links)
+    return graph
+
+
+def compiled_weighted_hits(
+    graph: CompiledLinkGraph,
+    relevance: Mapping[int, float],
+    rho: float = 0.1,
+    max_iterations: int = 25,
+    tolerance: float = 1e-9,
+    use_relevance_weights: bool = True,
+) -> DistillationResult:
+    """Relevance-weighted HITS over a compiled graph (reference: ``weighted_hits``).
+
+    Matches :func:`repro.distiller.hits.weighted_hits` to floating-point
+    tolerance: same initialisation (uniform hubs over link sources), same
+    per-half-step L1 normalisation, same convergence test on the hub
+    vector, same relevance filter and ``None``-weight fallbacks.
+    """
+    if not len(graph):
+        return DistillationResult(iterations=0)
+    src, dst, fwd, rev, oids = graph.arrays()
+    n = len(oids)
+    rel = np.fromiter((relevance.get(oid, 0.0) for oid in oids), np.float64, n)
+
+    hubs = np.zeros(n, dtype=np.float64)
+    sources = np.unique(src)
+    hubs[sources] = 1.0 / len(sources)
+    authorities = np.zeros(n, dtype=np.float64)
+
+    # Forward edges: filtered once (the relevance threshold and weights do
+    # not change across iterations), exactly as the reference pre-resolves.
+    forward = rel[dst] > rho
+    f_src = src[forward]
+    f_dst = dst[forward]
+    if use_relevance_weights:
+        f_wgt = np.where(np.isnan(fwd[forward]), rel[dst][forward], fwd[forward])
+        r_wgt = np.where(np.isnan(rev), rel[src], rev)
+    else:
+        f_wgt = np.ones(len(f_src), dtype=np.float64)
+        r_wgt = np.ones(len(src), dtype=np.float64)
+
+    iterations_run = 0
+    for _ in range(max_iterations):
+        iterations_run += 1
+        new_authorities = np.bincount(f_dst, weights=hubs[f_src] * f_wgt, minlength=n)
+        total = new_authorities.sum()
+        if total > 0:
+            new_authorities /= total
+        new_hubs = np.bincount(src, weights=new_authorities[dst] * r_wgt, minlength=n)
+        total = new_hubs.sum()
+        if total > 0:
+            new_hubs /= total
+        delta = np.abs(new_hubs - hubs).sum()
+        hubs, authorities = new_hubs, new_authorities
+        if delta < tolerance:
+            break
+
+    return DistillationResult(
+        hub_scores={oid: float(s) for oid, s in zip(oids, hubs) if s != 0.0},
+        authority_scores={
+            oid: float(s) for oid, s in zip(oids, authorities) if s != 0.0
+        },
+        iterations=iterations_run,
+    )

@@ -77,6 +77,10 @@ class StorageBackend:
         return 0
 
     @property
+    def wal_fsyncs(self) -> int:
+        return 0
+
+    @property
     def pages_flushed(self) -> int:
         return 0
 
@@ -128,8 +132,9 @@ class DurableBackend(StorageBackend):
 
     persistent = True
 
-    def __init__(self, path: str | os.PathLike) -> None:
+    def __init__(self, path: str | os.PathLike, wal_fsync_batch: int = 0) -> None:
         self.path = os.fspath(path)
+        self.wal_fsync_batch = max(int(wal_fsync_batch), 0)
         os.makedirs(self.path, exist_ok=True)
         self._segment_path = os.path.join(self.path, SEGMENT_FILE)
         self._snapshot_path = os.path.join(self.path, SNAPSHOT_FILE)
@@ -161,7 +166,9 @@ class DurableBackend(StorageBackend):
                 PageId(file_id, page_no): offset
                 for (file_id, page_no), offset in self.snapshot_meta["directory"].items()
             }
-        self.wal = WriteAheadLog(os.path.join(self.path, WAL_FILE))
+        self.wal = WriteAheadLog(
+            os.path.join(self.path, WAL_FILE), fsync_batch=self.wal_fsync_batch
+        )
         self._snapshot_epoch = epoch
 
     # -- page transfer ----------------------------------------------------
@@ -201,6 +208,10 @@ class DurableBackend(StorageBackend):
     @property
     def wal_bytes_written(self) -> int:
         return self.wal.bytes_written
+
+    @property
+    def wal_fsyncs(self) -> int:
+        return self.wal.syncs_performed
 
     @property
     def pages_flushed(self) -> int:

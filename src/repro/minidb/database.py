@@ -64,6 +64,7 @@ class Database:
         buffer_pool_pages: int = 256,
         page_size: int = DEFAULT_PAGE_SIZE,
         replay_wal: bool = True,
+        wal_fsync_batch: int = 0,
     ) -> "Database":
         """Open (or create) a durable database at directory *path*.
 
@@ -73,11 +74,15 @@ class Database:
         the snapshot instead, discarding post-checkpoint writes — used by
         coordinators (e.g. the crawl checkpoint manager) that must keep
         the database consistent with externally saved state.
+
+        ``wal_fsync_batch`` configures WAL group commit: ``0`` (default)
+        fsyncs only at checkpoints, ``N >= 1`` fsyncs at least once per N
+        logged records (see :class:`~repro.minidb.wal.WriteAheadLog`).
         """
         return cls(
             buffer_pool_pages=buffer_pool_pages,
             page_size=page_size,
-            backend=DurableBackend(path),
+            backend=DurableBackend(path, wal_fsync_batch=wal_fsync_batch),
             replay_wal=replay_wal,
         )
 
@@ -299,6 +304,7 @@ class Database:
     def io_snapshot(self) -> dict[str, float]:
         snapshot = self.stats.snapshot()
         snapshot["wal_bytes_written"] = float(self.backend.wal_bytes_written)
+        snapshot["wal_fsyncs"] = float(self.backend.wal_fsyncs)
         snapshot["pages_flushed"] = float(self.backend.pages_flushed)
         return snapshot
 

@@ -34,6 +34,14 @@ class Index:
         self._positions = schema.project_positions(key_columns)
         #: Number of key probes served, for instrumentation.
         self.probe_count = 0
+        # Short keys (every index in the system is 1-2 columns) build
+        # without a generator frame per row.
+        if len(self._positions) == 1:
+            position = self._positions[0]
+            self.key_of = lambda row: (row[position],)
+        elif len(self._positions) == 2:
+            first, second = self._positions
+            self.key_of = lambda row: (row[first], row[second])
 
     def key_of(self, row: Sequence[Any]) -> tuple:
         return tuple(row[p] for p in self._positions)
@@ -66,6 +74,10 @@ class Index:
     def search(self, key: tuple) -> list[RecordId]:
         raise NotImplementedError
 
+    def contains(self, key: tuple) -> bool:
+        """Whether any entry exists under *key* (no result-list allocation)."""
+        return bool(self.search(key))
+
     def __len__(self) -> int:
         raise NotImplementedError
 
@@ -95,13 +107,23 @@ class HashIndex(Index):
 
     def insert_many(self, pairs: Iterable[tuple[Sequence[Any], RecordId]]) -> None:
         buckets = self._buckets
-        key_of = self.key_of
         added = 0
-        for row, rid in pairs:
-            bucket = buckets.setdefault(key_of(row), {})
-            if rid not in bucket:
-                bucket[rid] = None
-                added += 1
+        if len(self._positions) == 1:
+            # Inline the single-column key build: bulk loads pay one dict
+            # op per pair instead of an extra call per pair.
+            position = self._positions[0]
+            for row, rid in pairs:
+                bucket = buckets.setdefault((row[position],), {})
+                if rid not in bucket:
+                    bucket[rid] = None
+                    added += 1
+        else:
+            key_of = self.key_of
+            for row, rid in pairs:
+                bucket = buckets.setdefault(key_of(row), {})
+                if rid not in bucket:
+                    bucket[rid] = None
+                    added += 1
         self._entries += added
 
     def delete(self, row: Sequence[Any], rid: RecordId) -> None:
@@ -120,6 +142,10 @@ class HashIndex(Index):
     def search(self, key: tuple) -> list[RecordId]:
         self.probe_count += 1
         return list(self._buckets.get(tuple(key), ()))
+
+    def contains(self, key: tuple) -> bool:
+        self.probe_count += 1
+        return key in self._buckets
 
     def keys(self) -> Iterator[tuple]:
         return iter(self._buckets)
@@ -148,6 +174,31 @@ class OrderedIndex(Index):
             self._postings[key] = []
         self._postings[key].append(rid)
         self._entries += 1
+
+    def insert_many(self, pairs: Iterable[tuple[Sequence[Any], RecordId]]) -> None:
+        """Bulk load: one sort over the merged key list instead of per-row insort.
+
+        Timsort is near-linear on the (typical) mostly-sorted bulk input,
+        where per-row ``insort`` into the middle of a large key list is
+        quadratic in the worst case.
+        """
+        postings = self._postings
+        key_of = self.key_of
+        new_keys: list[tuple] = []
+        added = 0
+        for row, rid in pairs:
+            key = key_of(row)
+            bucket = postings.get(key)
+            if bucket is None:
+                postings[key] = [rid]
+                new_keys.append(key)
+            else:
+                bucket.append(rid)
+            added += 1
+        if new_keys:
+            self._keys.extend(new_keys)
+            self._keys.sort()
+        self._entries += added
 
     def delete(self, row: Sequence[Any], rid: RecordId) -> None:
         key = self.key_of(row)

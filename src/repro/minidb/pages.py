@@ -29,10 +29,21 @@ PAGE_HEADER = 24
 
 @dataclass(frozen=True)
 class PageId:
-    """Identifies a page: which file (table/index) and which page number within it."""
+    """Identifies a page: which file (table/index) and which page number within it.
+
+    Page and record ids are the hottest dict keys in the engine (buffer
+    pool, index buckets, delta caches), so their hash is computed once at
+    construction instead of per lookup.
+    """
 
     file_id: int
     page_no: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.file_id, self.page_no)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return f"page({self.file_id}:{self.page_no})"
@@ -44,6 +55,12 @@ class RecordId:
 
     page_id: PageId
     slot: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.page_id._hash, self.slot)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return f"rid({self.page_id.file_id}:{self.page_id.page_no}:{self.slot})"
@@ -78,6 +95,14 @@ class Page:
         """Insert *row* into the first free slot (or a new one); return the slot number."""
         if not self.fits(row_size):
             raise StorageError(f"row of {row_size} bytes does not fit in {self.page_id}")
+        return self.append_row(row, row_size)
+
+    def append_row(self, row: tuple, row_size: int) -> int:
+        """:meth:`insert` without the capacity re-check.
+
+        Bulk loaders check :meth:`fits` once per row already; slot
+        assignment (tombstone reuse first, then append) is identical.
+        """
         self.used_bytes += row_size + SLOT_OVERHEAD
         self.dirty = True
         if self.tombstones:

@@ -12,7 +12,7 @@ from typing import Iterator, Optional, Sequence
 
 from .buffer_pool import BufferPool
 from .errors import StorageError
-from .pages import DEFAULT_PAGE_SIZE, Page, PageId, RecordId
+from .pages import DEFAULT_PAGE_SIZE, SLOT_OVERHEAD, Page, PageId, RecordId
 from .types import Schema
 
 
@@ -73,17 +73,18 @@ class HeapFile:
         computed (and checked) by the caller; between page switches no
         other pool activity happens, so holding the page object is safe.
         """
-        rids: list[RecordId] = []
-        page: Optional[Page] = None
-        for position, row in enumerate(rows):
-            if sizes is not None:
-                row_size = sizes[position]
-            else:
-                row_size = self.schema.row_size(row)
+        if sizes is None:
+            sizes = [self.schema.row_size(row) for row in rows]
+            for row_size in sizes:
                 self.check_row_size(row_size)
+        rids: list[RecordId] = []
+        n_rows = len(rows)
+        position = 0
+        page: Optional[Page] = None
+        while position < n_rows:
             if page is None:
-                page = self._page_with_room(row_size)
-            elif not page.fits(row_size):
+                page = self._page_with_room(sizes[position])
+            else:
                 new_id = PageId(self.file_id, self._page_count)
                 self._page_count += 1
                 self.buffer_pool.create_page(new_id, self.page_size)
@@ -91,10 +92,40 @@ class HeapFile:
                 # logical page access per page it fills (a sequential write
                 # pattern), keeping the I/O cost model meaningful.
                 page = self.buffer_pool.get_page(new_id)
-            slot = page.insert(row, row_size)
-            self.buffer_pool.mark_dirty(page.page_id)
-            self._row_count += 1
-            rids.append(RecordId(page.page_id, slot))
+            page_id = page.page_id
+            if page.tombstones:
+                # Tombstone reuse needs the per-slot scan; take the slow,
+                # row-at-a-time path for this page.
+                while position < n_rows and page.fits(sizes[position]):
+                    slot = page.append_row(rows[position], sizes[position])
+                    rids.append(RecordId(page_id, slot))
+                    position += 1
+            else:
+                # Pure appends: take as many rows as fit in one slice, with
+                # plain arithmetic instead of per-row method calls.
+                free = page.capacity - page.used_bytes
+                used = 0
+                chunk_end = position
+                while chunk_end < n_rows:
+                    needed = sizes[chunk_end] + SLOT_OVERHEAD
+                    if used + needed > free:
+                        break
+                    used += needed
+                    chunk_end += 1
+                if chunk_end > position:
+                    slots = page.slots
+                    first_slot = len(slots)
+                    slots.extend(rows[position:chunk_end])
+                    page.used_bytes += used
+                    page.dirty = True
+                    rids.extend(
+                        [
+                            RecordId(page_id, slot)
+                            for slot in range(first_slot, first_slot + (chunk_end - position))
+                        ]
+                    )
+                    position = chunk_end
+        self._row_count += len(rids)
         return rids
 
     def check_row_size(self, row_size: int) -> None:
@@ -119,10 +150,12 @@ class HeapFile:
         """
         self._check_rid(rid)
         page = self.buffer_pool.get_page(rid.page_id)
-        old = page.read(rid.slot)
         if size_delta is not None:
+            # Slot occupancy is checked by page.update; the old row itself
+            # is only needed to compute sizes, which the caller supplied.
             page.update(rid.slot, row, old_size=0, new_size=size_delta)
         else:
+            old = page.read(rid.slot)
             page.update(
                 rid.slot,
                 row,
@@ -192,6 +225,10 @@ class HeapFile:
         new_id = PageId(self.file_id, self._page_count)
         self._page_count += 1
         return self.buffer_pool.create_page(new_id, self.page_size)
+
+    def check_rid(self, rid: RecordId) -> None:
+        """Public form of the rid ownership/extent check (bulk-update path)."""
+        self._check_rid(rid)
 
     def _check_rid(self, rid: RecordId) -> None:
         if rid.page_id.file_id != self.file_id:

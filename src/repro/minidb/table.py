@@ -161,28 +161,53 @@ class Table:
         through :meth:`HeapFile.insert_rows`, which pins each fill page
         once per page switch rather than once per row.
         """
+        coerce = self._coerce
+        row_size = self.schema.row_size
+        check_row_size = self.heap.check_row_size
+        pk_index = self._pk_index
         coerced: list[Row] = []
         sizes: list[int] = []
-        batch_keys: set[tuple] = set()
-        for values in rows:
-            row = self._coerce(values)
-            self._check_primary_key(row)
-            size = self.schema.row_size(row)
-            self.heap.check_row_size(size)
-            if self._pk_index is not None:
-                key = self.schema.key_of(row)
+        if pk_index is not None:
+            key_of = self.schema.key_of
+            existing_key = pk_index.contains
+            batch_keys: set[tuple] = set()
+            for values in rows:
+                row = coerce(values)
+                key = key_of(row)
+                if None in key:
+                    raise ConstraintError(
+                        f"table {self.name!r}: primary key {self.schema.primary_key} cannot be NULL"
+                    )
+                if existing_key(key):
+                    raise ConstraintError(
+                        f"table {self.name!r}: duplicate primary key {key!r}"
+                    )
+                size = row_size(row)
+                check_row_size(size)
                 if key in batch_keys:
                     raise ConstraintError(
                         f"table {self.name!r}: duplicate primary key {key!r} within batch"
                     )
                 batch_keys.add(key)
-            coerced.append(row)
-            sizes.append(size)
+                coerced.append(row)
+                sizes.append(size)
+        else:
+            for values in rows:
+                row = coerce(values)
+                size = row_size(row)
+                check_row_size(size)
+                coerced.append(row)
+                sizes.append(size)
         if not coerced:
             return []
         rids = self.heap.insert_rows(coerced, sizes)
-        for row, rid in zip(coerced, rids):
-            self._index_insert(row, rid)
+        # Indexes are bulk-loaded per index (hoisted locals in insert_many)
+        # instead of per row through _index_insert's double dispatch.
+        pairs = list(zip(coerced, rids))
+        if pk_index is not None:
+            pk_index.insert_many(pairs)
+        for index in self.indexes.values():
+            index.insert_many(pairs)
         self._log(("insert", self.name, coerced))
         self._notify("insert", coerced)
         return rids
@@ -201,6 +226,50 @@ class Table:
         self._log(("update", self.name, [(self._rid_tuple(rid), dict(changes))]))
         self._notify("update", [new])
         return new
+
+    def update_column(self, column: str, updates: Sequence[tuple[RecordId, Any]]) -> int:
+        """Bulk-set one column: the single-column fast path of :meth:`update_rows`.
+
+        Identical semantics (validation, index maintenance, journal
+        record); the fast path engages only for an unindexed non-key
+        column, where per-row change dicts and per-change column
+        resolution are pure overhead — the crawl engine's ``wgt_fwd``
+        refresh is the canonical caller.  Indexed or primary-key columns
+        delegate to :meth:`update_rows`.
+        """
+        if not updates:
+            return 0
+        indexed = (self.schema.primary_key and column in self.schema.primary_key) or any(
+            column in index.key_columns for index in self.indexes.values()
+        )
+        if indexed:
+            return self.update_rows([(rid, {column: value}) for rid, value in updates])
+        position = self.schema.position(column)
+        validate = self.schema.validator(column)
+        sizeof = self.schema.sizer(column)
+        heap = self.heap
+        get_page = heap.buffer_pool.get_page
+        new_rows: list[Row] = []
+        for rid, value in updates:
+            heap.check_rid(rid)
+            page = get_page(rid.page_id)
+            old = page.read(rid.slot)
+            coerced = validate(value)
+            new = old[:position] + (coerced,) + old[position + 1 :]
+            page.update(
+                rid.slot, new, old_size=0, new_size=sizeof(coerced) - sizeof(old[position])
+            )
+            new_rows.append(new)
+        if self._journal is not None:
+            self._log(
+                (
+                    "update",
+                    self.name,
+                    [(self._rid_tuple(rid), {column: value}) for rid, value in updates],
+                )
+            )
+        self._notify("update", new_rows)
+        return len(new_rows)
 
     def update_rows(self, updates: Sequence[tuple[RecordId, Mapping[str, Any]]]) -> int:
         """Apply many per-row change sets in one batch; returns the row count.
@@ -228,15 +297,18 @@ class Table:
             return len(updates)
 
         columns = {
-            column.name: (index, column.validate, column.type.storage_size)
+            column.name: (index, self.schema.validator(column.name), self.schema.sizer(column.name))
             for index, column in enumerate(self.schema.columns)
         }
         # Patch only the changed columns into the stored row: the untouched
         # values were validated when first stored, and summing per-column
         # size deltas avoids re-measuring (and re-encoding) the whole row.
+        heap = self.heap
+        get_page = heap.buffer_pool.get_page
         items: list[tuple[RecordId, Row, Row, int]] = []
         for rid, changes in updates:
-            old = self.heap.read(rid)
+            heap.check_rid(rid)
+            old = get_page(rid.page_id).read(rid.slot)
             patched = list(old)
             size_delta = 0
             for name, value in changes.items():
@@ -268,17 +340,23 @@ class Table:
             if moved:
                 index.delete_many([(old, rid) for rid, old, _new in moved])
         for rid, _old, new, size_delta in items:
-            self.heap.update(rid, new, size_delta=size_delta)
+            # Re-fetch through the pool per row: a page object cached from
+            # the read pass may have been *evicted* by a later read in a
+            # batch wider than the pool, and mutating a detached page
+            # would silently lose the write on a durable backend.
+            # page.update sets the dirty flag itself.
+            get_page(rid.page_id).update(rid.slot, new, old_size=0, new_size=size_delta)
         for index, moved in moved_by_index:
             for rid, _old, new in moved:
                 index.insert(new, rid)
-        self._log(
-            (
-                "update",
-                self.name,
-                [(self._rid_tuple(rid), dict(changes)) for rid, changes in updates],
+        if self._journal is not None:
+            self._log(
+                (
+                    "update",
+                    self.name,
+                    [(self._rid_tuple(rid), dict(changes)) for rid, changes in updates],
+                )
             )
-        )
         self._notify("update", [new for _rid, _old, new, _delta in items])
         return len(items)
 
@@ -366,7 +444,13 @@ class Table:
             ) from None
 
     def _coerce(self, values: Sequence[Any] | Mapping[str, Any]) -> Row:
-        if isinstance(values, Mapping):
+        # Exact-type checks first: bulk writers hand over plain tuples or
+        # dicts, and an isinstance against typing.Mapping costs a
+        # __subclasscheck__ per row on this hot path.
+        kind = type(values)
+        if kind is tuple or kind is list:
+            return self.schema.validate_row(values)
+        if kind is dict or isinstance(values, Mapping):
             return self.schema.row_from_mapping(values)
         return self.schema.validate_row(values)
 
@@ -374,11 +458,11 @@ class Table:
         if self._pk_index is None:
             return
         key = self.schema.key_of(row)
-        if any(part is None for part in key):
+        if None in key:
             raise ConstraintError(
                 f"table {self.name!r}: primary key {self.schema.primary_key} cannot be NULL"
             )
-        if self._pk_index.search(key):
+        if self._pk_index.contains(key):
             raise ConstraintError(
                 f"table {self.name!r}: duplicate primary key {key!r}"
             )

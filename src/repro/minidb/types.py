@@ -99,6 +99,74 @@ Row = tuple
 """A stored row: a plain tuple, positionally aligned with the schema columns."""
 
 
+def _call(func, value):
+    """``map``-able application helper (avoids a per-value lambda allocation)."""
+    return func(value)
+
+
+def _specialized_validator(column: "Column"):
+    """A per-column validator with an exact-type fast path.
+
+    Bulk inserts call one validator per value; the generic
+    :meth:`Column.validate` pays an enum-identity chain per call.  The
+    specialized closure answers the overwhelmingly common case — the
+    value already has the column's exact Python type — with a single
+    ``type(value) is T`` check and defers everything else (None,
+    coercions, errors) to the generic path, so the accepted/rejected
+    value space is identical.
+    """
+    generic = column.validate
+    expected = {
+        ColumnType.INTEGER: int,
+        ColumnType.FLOAT: float,
+        ColumnType.TEXT: str,
+        ColumnType.BLOB: bytes,
+    }[column.type]
+
+    def validate(value, _expected=expected, _generic=generic):
+        if type(value) is _expected:
+            return value
+        return _generic(value)
+
+    return validate
+
+
+#: Exact Python type per column type, used by the fused row validator.
+_EXACT_TYPE_NAME = {
+    ColumnType.INTEGER: "int",
+    ColumnType.FLOAT: "float",
+    ColumnType.TEXT: "str",
+    ColumnType.BLOB: "bytes",
+}
+
+
+def _fused_row_validator(columns: Sequence["Column"], validators: tuple):
+    """Compile one whole-row validator with inline exact-type checks.
+
+    Bulk inserts validate every value of every row; even a specialized
+    per-column closure costs a Python call per value.  Generating a single
+    expression — ``(r[0] if type(r[0]) is int else _v[0](r[0]), ...)`` —
+    keeps the all-fast-path row to *one* call per row, while any value
+    that fails its exact-type check falls back to the full per-column
+    validator (identical accepted/rejected semantics).
+    """
+    parts = [
+        f"(r[{i}] if type(r[{i}]) is {_EXACT_TYPE_NAME[c.type]} else _v[{i}](r[{i}]))"
+        for i, c in enumerate(columns)
+    ]
+    source = f"lambda r, _v=_v: ({', '.join(parts)}{',' if parts else ''})"
+    return eval(source, {"_v": validators, "__builtins__": {"int": int, "float": float, "str": str, "bytes": bytes, "type": type}})  # noqa: S307
+
+
+def _specialized_sizer(ctype: ColumnType):
+    """Per-column storage sizer without the enum dispatch of ``storage_size``."""
+    if ctype in (ColumnType.INTEGER, ColumnType.FLOAT):
+        return lambda value: 8 if value is not None else 1
+    if ctype is ColumnType.TEXT:
+        return lambda value: 4 + len(value.encode("utf-8")) if value is not None else 1
+    return lambda value: 4 + len(value) if value is not None else 1
+
+
 @dataclass
 class Schema:
     """An ordered collection of :class:`Column` definitions plus an optional primary key.
@@ -120,9 +188,20 @@ class Schema:
             if key_col not in self._index:
                 raise SchemaError(f"primary key column {key_col!r} not in schema")
         # Hot-path caches: row conversion runs per row on every insert/scan.
+        # Validators/sizers are exact-type-specialized closures (same
+        # semantics as Column.validate / ColumnType.storage_size).
         self._names = tuple(names)
-        self._validators = tuple(c.validate for c in self.columns)
-        self._sizers = tuple(c.type.storage_size for c in self.columns)
+        self._validators = tuple(_specialized_validator(c) for c in self.columns)
+        self._fused_validator = _fused_row_validator(self.columns, self._validators)
+        self._sizers = tuple(_specialized_sizer(c.type) for c in self.columns)
+        self._pk_positions = tuple(self._index[k] for k in self.primary_key)
+        # All-numeric schemas (LINK, HUBS, AUTH) have one possible row size
+        # unless a value is NULL; skip the per-column summation for them.
+        self._fixed_row_size = (
+            8 * len(self.columns)
+            if all(c.type in (ColumnType.INTEGER, ColumnType.FLOAT) for c in self.columns)
+            else None
+        )
 
     # -- introspection -------------------------------------------------
     @property
@@ -152,7 +231,15 @@ class Schema:
             raise SchemaError(
                 f"row has {len(values)} values, schema has {len(self.columns)} columns"
             )
-        return tuple(map(lambda v, validate: validate(v), values, self._validators))
+        return self._fused_validator(values)
+
+    def validator(self, name: str):
+        """The specialized validator of column *name* (bulk update hot path)."""
+        return self._validators[self.position(name)]
+
+    def sizer(self, name: str):
+        """The specialized storage sizer of column *name* (bulk update hot path)."""
+        return self._sizers[self.position(name)]
 
     def row_from_mapping(self, mapping: Mapping[str, Any]) -> Row:
         """Build a positional row from a column-name mapping (missing columns become NULL)."""
@@ -166,11 +253,17 @@ class Schema:
 
     def key_of(self, row: Sequence[Any]) -> tuple:
         """Extract the primary-key tuple from a row (empty tuple if no primary key)."""
-        return tuple(row[self.position(k)] for k in self.primary_key)
+        positions = self._pk_positions
+        if len(positions) == 1:
+            return (row[positions[0]],)
+        return tuple(row[p] for p in positions)
 
     def row_size(self, row: Sequence[Any]) -> int:
         """Approximate stored size of *row* in bytes."""
-        return sum(map(lambda v, size: size(v), row, self._sizers))
+        fixed = self._fixed_row_size
+        if fixed is not None and None not in row:
+            return fixed
+        return sum(map(_call, self._sizers, row))
 
     def project_positions(self, names: Iterable[str]) -> list[int]:
         return [self.position(n) for n in names]

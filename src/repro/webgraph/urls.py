@@ -31,7 +31,28 @@ def normalize_url(url: str) -> str:
 
     Normalisation matters because the crawl frontier must not treat
     ``http://example.com`` and ``http://example.com/`` as two pages.
+    Already-canonical URLs (every synthetic URL, and any previous output
+    of this function) are recognised with a few string checks and
+    returned unchanged, skipping the urlsplit/urlunsplit round-trip;
+    tests assert the fast path agrees with the full parse.
     """
+    if url.startswith("http://") and url == url.lower():
+        rest = url[7:]
+        slash = rest.find("/")
+        if (
+            slash > 0
+            and "?" not in rest
+            and "#" not in rest
+            and "//" not in rest[slash:]
+            and not rest[:slash].endswith(":80")
+            and not url[-1].isspace()
+            # urlsplit removes tab/CR/LF anywhere in the URL, so their
+            # presence must force the full parse.
+            and "\t" not in url
+            and "\n" not in url
+            and "\r" not in url
+        ):
+            return url
     parts = urlsplit(url.strip())
     scheme = (parts.scheme or "http").lower()
     netloc = parts.netloc.lower()
@@ -52,7 +73,11 @@ def url_oid(url: str) -> int:
 
 @lru_cache(maxsize=_URL_CACHE_SIZE)
 def host_of(url: str) -> str:
-    return urlsplit(normalize_url(url)).netloc
+    normalized = normalize_url(url)
+    if normalized.startswith("http://"):
+        # Normalised form: netloc runs to the first slash after the scheme.
+        return normalized[7:].split("/", 1)[0]
+    return urlsplit(normalized).netloc
 
 
 @lru_cache(maxsize=_URL_CACHE_SIZE)

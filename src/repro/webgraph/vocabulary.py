@@ -17,13 +17,20 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 
 
+@lru_cache(maxsize=1 << 17)
 def term_id(term: str) -> int:
-    """Stable 32-bit term id (the paper uses 32-bit hash codes for terms)."""
+    """Stable 32-bit term id (the paper uses 32-bit hash codes for terms).
+
+    Memoised: the synthetic vocabulary is small and every fetched page
+    re-hashes the same tokens, so the encode+CRC runs once per distinct
+    term instead of once per token occurrence.
+    """
     return zlib.crc32(term.encode("utf-8")) & 0xFFFFFFFF
 
 

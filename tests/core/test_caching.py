@@ -1,0 +1,55 @@
+"""Unit tests for the shared LRU cache used across the crawl hot paths."""
+
+from repro.core.caching import LRUCache
+
+
+class TestLRUCache:
+    def test_get_put_and_lru_eviction(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes "a"
+        cache.put("c", 3)           # evicts "b" (least recently used)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert len(cache) == 2
+        assert cache.hits == 3 and cache.misses == 1
+
+    def test_put_replaces_and_refreshes(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # replace refreshes recency
+        cache.put("c", 3)   # evicts "b"
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_peek_does_not_refresh_or_count(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.peek("a") == 1
+        assert cache.hits == 0 and cache.misses == 0
+        cache.put("c", 3)  # "a" was not refreshed by peek -> evicted
+        assert cache.peek("a") is None
+
+    def test_raw_exposes_backing_dict_below_capacity(self):
+        cache = LRUCache(8)
+        cache.put(1, "x")
+        assert cache.raw.get(1) == "x"
+        assert cache.raw.get(2) is None
+        assert 1 in cache and 2 not in cache
+        assert list(cache) == [1]
+
+    def test_clear(self):
+        cache = LRUCache(4)
+        cache.put(1, "x")
+        cache.clear()
+        assert len(cache) == 0

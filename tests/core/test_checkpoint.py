@@ -156,6 +156,34 @@ class TestCrashResume:
         assert_traces_match(resumed, reference_batched)
         resumed.database.close()
 
+    def test_numpy_backend_killed_and_resumed_matches_uninterrupted(
+        self, checkpoint_system, tmp_path, monkeypatch
+    ):
+        """Kill/resume under score_backend="numpy": the compiled scorer and
+        the columnar link graph are pure caches, so the resumed crawl is
+        bit-identical to an uninterrupted numpy-backend crawl."""
+        config = crawl_config("batched")
+        config.score_backend = "numpy"
+        reference = checkpoint_system.crawl(
+            crawler_config=config, fetch_failure_seed=FETCH_FAILURE_SEED
+        )
+        killed_config = crawl_config("batched")
+        killed_config.score_backend = "numpy"
+        kill_fetcher_after(monkeypatch, 63)
+        with pytest.raises(KillSwitch):
+            checkpoint_system.crawl(
+                crawler_config=killed_config,
+                fetch_failure_seed=FETCH_FAILURE_SEED,
+                checkpoint_dir=str(tmp_path / "crawl"),
+            )
+        monkeypatch.undo()
+
+        resumed = checkpoint_system.crawl(resume_from=str(tmp_path / "crawl"))
+        assert resumed.crawler.config.score_backend == "numpy"
+        assert resumed.pages_fetched() == MAX_PAGES
+        assert_traces_match(resumed, reference)
+        resumed.database.close()
+
     def test_checkpointing_does_not_perturb_the_crawl(
         self, checkpoint_system, reference_batched, tmp_path
     ):

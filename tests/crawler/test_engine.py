@@ -120,14 +120,20 @@ class TestSerialBatchedEquivalence:
     def test_batched_relevance_matches_reference_classifier(
         self, small_web, trained_model, taxonomy, crawl_seeds
     ):
-        """The batch classifier path records Equation-3 relevance bit for bit."""
+        """The batch classifier path records Equation-3 relevance bit for bit
+        (python backend) or to 1e-9 (numpy backend, via the env override)."""
         _, _, batched = run_crawl(
             small_web, trained_model, taxonomy, crawl_seeds,
             max_pages=60, distill_every=0, batch_size=8, simulate_failures=False,
         )
+        numpy_backend = CrawlerConfig().score_backend == "numpy"
         for visit in batched.visits[:40]:
             frequencies = term_frequencies(small_web.page(visit.url).tokens)
-            assert visit.relevance == trained_model.relevance(frequencies)
+            reference = trained_model.relevance(frequencies)
+            if numpy_backend:
+                assert visit.relevance == pytest.approx(reference, abs=1e-9)
+            else:
+                assert visit.relevance == reference
             assert visit.best_leaf_cid == trained_model.best_leaf(frequencies)
 
 
@@ -156,6 +162,85 @@ class TestIncrementalDistillation:
             assert incremental.hub_scores[oid] == pytest.approx(score, abs=1e-9)
         for oid, score in full.authority_scores.items():
             assert incremental.authority_scores[oid] == pytest.approx(score, abs=1e-9)
+
+
+class TestScoreBackends:
+    """The columnar numpy backend is a pure execution-strategy change."""
+
+    def test_batched_numpy_matches_python_to_tolerance(
+        self, small_web, trained_model, taxonomy, crawl_seeds
+    ):
+        kwargs = dict(max_pages=120, distill_every=40, engine="batched", batch_size=8)
+        _, _, python_trace = run_crawl(
+            small_web, trained_model, taxonomy, crawl_seeds,
+            score_backend="python", **kwargs,
+        )
+        _, _, numpy_trace = run_crawl(
+            small_web, trained_model, taxonomy, crawl_seeds,
+            score_backend="numpy", **kwargs,
+        )
+        assert python_trace.fetched_urls == numpy_trace.fetched_urls
+        for a, b in zip(
+            python_trace.relevance_series(), numpy_trace.relevance_series()
+        ):
+            assert b == pytest.approx(a, abs=1e-9)
+        assert python_trace.distillations == numpy_trace.distillations
+        reference = python_trace.last_distillation
+        outcome = numpy_trace.last_distillation
+        assert set(outcome.hub_scores) == set(reference.hub_scores)
+        for oid, score in reference.hub_scores.items():
+            assert outcome.hub_scores[oid] == pytest.approx(score, abs=1e-9)
+        for oid, score in reference.authority_scores.items():
+            assert outcome.authority_scores[oid] == pytest.approx(score, abs=1e-9)
+
+    def test_serial_numpy_matches_python_to_tolerance(
+        self, small_web, trained_model, taxonomy, crawl_seeds
+    ):
+        kwargs = dict(max_pages=80, distill_every=30)
+        _, _, python_trace = run_crawl(
+            small_web, trained_model, taxonomy, crawl_seeds,
+            score_backend="python", **kwargs,
+        )
+        _, _, numpy_trace = run_crawl(
+            small_web, trained_model, taxonomy, crawl_seeds,
+            score_backend="numpy", **kwargs,
+        )
+        assert python_trace.fetched_urls == numpy_trace.fetched_urls
+        for a, b in zip(
+            python_trace.relevance_series(), numpy_trace.relevance_series()
+        ):
+            assert b == pytest.approx(a, abs=1e-9)
+
+    def test_hard_focus_numpy_matches_python(
+        self, small_web, trained_model, taxonomy, crawl_seeds
+    ):
+        kwargs = dict(max_pages=60, distill_every=0, focus_mode="hard",
+                      simulate_failures=False, engine="batched", batch_size=4)
+        _, _, python_trace = run_crawl(
+            small_web, trained_model, taxonomy, crawl_seeds,
+            score_backend="python", **kwargs,
+        )
+        _, _, numpy_trace = run_crawl(
+            small_web, trained_model, taxonomy, crawl_seeds,
+            score_backend="numpy", **kwargs,
+        )
+        assert python_trace.fetched_urls == numpy_trace.fetched_urls
+
+    def test_stage_timings_recorded(
+        self, small_web, trained_model, taxonomy, crawl_seeds
+    ):
+        crawler, _, _ = run_crawl(
+            small_web, trained_model, taxonomy, crawl_seeds,
+            max_pages=40, distill_every=20, batch_size=8, score_backend="numpy",
+        )
+        timings = crawler.engine.stage_timings
+        assert set(timings) == {"fetch", "classify", "write", "distill"}
+        assert timings["fetch"] > 0 and timings["classify"] > 0
+        assert timings["write"] > 0 and timings["distill"] > 0
+
+    def test_invalid_backend_rejected(self, small_web, trained_model, taxonomy):
+        with pytest.raises(ValueError):
+            run_crawl(small_web, trained_model, taxonomy, [], score_backend="fortran")
 
 
 class TestEngineConfig:

@@ -123,6 +123,44 @@ class TestUpdateRows:
         table.update_rows([(rids[0], {"k": 3})])
         assert table.get_by_key((3,)) is not None
 
+    def test_wide_batch_survives_pool_eviction_on_durable_backend(self, tmp_path):
+        """Updates spanning more pages than the buffer pool must not be lost.
+
+        Regression test: caching Page objects across the batch's reads let
+        later reads evict earlier pages; writes then mutated detached
+        objects and a durable backend silently dropped them.
+        """
+        db = Database.open(str(tmp_path / "db"), buffer_pool_pages=2)
+        table = db.create_table(
+            "T",
+            make_schema(
+                ("k", INTEGER, False),
+                ("v", FLOAT),
+                ("pad", TEXT),
+                primary_key=["k"],
+            ),
+        )
+        # Large rows -> a couple of rows per page -> far more pages than frames.
+        rids = table.insert_many((i, 0.0, "x" * 1500) for i in range(40))
+        table.update_rows([(rid, {"v": 1.0}) for rid in rids])
+        assert all(row[1] == 1.0 for row in table.rows())
+        db.checkpoint()
+        db.close()
+        reopened = Database.open(str(tmp_path / "db"))
+        assert all(row[1] == 1.0 for row in reopened.table("T").rows())
+        reopened.close()
+
+    def test_update_column_wide_batch_on_durable_backend(self, tmp_path):
+        db = Database.open(str(tmp_path / "db"), buffer_pool_pages=2)
+        table = db.create_table(
+            "T",
+            make_schema(("k", INTEGER, False), ("v", FLOAT), ("pad", TEXT)),
+        )
+        rids = table.insert_many((i, 0.0, "y" * 1500) for i in range(40))
+        table.update_column("v", [(rid, 2.5) for rid in rids])
+        assert all(row[1] == 2.5 for row in table.rows())
+        db.close()
+
     def test_unknown_column_raises(self):
         _, table = make_table()
         rids = table.insert_many([{"k": 1, "v": 0.0, "s": "a"}])

@@ -143,6 +143,71 @@ class TestWriteAheadLog:
         reopened.close()
 
 
+class TestGroupCommit:
+    """WAL fsync batching: ``fsync_batch=N`` coalesces N appends per fsync."""
+
+    def test_default_never_fsyncs_on_append(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.dat")
+        for record in RECORDS:
+            wal.append(record)
+        assert wal.syncs_performed == 0
+        wal.close()
+
+    def test_fsync_per_record(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.dat", fsync_batch=1)
+        for record in RECORDS:
+            wal.append(record)
+        assert wal.syncs_performed == len(RECORDS)
+        wal.close()
+
+    def test_batch_coalesces_fsyncs(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.dat", fsync_batch=3)
+        for _ in range(7):
+            wal.append(RECORDS[0])
+        # 7 appends at batch 3 -> fsyncs after the 3rd and 6th.
+        assert wal.syncs_performed == 2
+        wal.close()
+        # close() fsyncs the un-batched tail so no record is left exposed.
+        assert wal.syncs_performed == 3
+
+    def test_explicit_sync_resets_the_batch(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.dat", fsync_batch=4)
+        wal.append(RECORDS[0])
+        wal.append(RECORDS[1])
+        wal.sync()
+        wal.append(RECORDS[2])
+        assert wal.syncs_performed == 1  # batch restarted after sync
+        wal.close()
+
+    def test_grouped_records_survive_reopen(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.dat", fsync_batch=8)
+        for record in RECORDS:
+            wal.append(record)
+        wal.close()
+        reopened = WriteAheadLog(tmp_path / "wal.dat", fsync_batch=8)
+        assert reopened.replay() == RECORDS
+        reopened.close()
+
+    def test_database_reports_wal_fsyncs(self, tmp_path):
+        from repro.minidb import FLOAT, INTEGER, Database, make_schema
+
+        db = Database.open(str(tmp_path / "db"), wal_fsync_batch=2)
+        table = db.create_table(
+            "T", make_schema(("k", INTEGER, False), ("v", FLOAT), primary_key=["k"])
+        )
+        for k in range(5):
+            table.insert((k, float(k)))
+        snapshot = db.io_snapshot()
+        assert snapshot["wal_fsyncs"] >= 2
+        assert snapshot["wal_bytes_written"] > 0
+        db.close()
+
+    def test_memory_database_reports_zero_fsyncs(self):
+        from repro.minidb import Database
+
+        assert Database().io_snapshot()["wal_fsyncs"] == 0.0
+
+
 class TestFrames:
     def test_frame_round_trip_by_offset(self, tmp_path):
         path = tmp_path / "frames.dat"

@@ -97,3 +97,32 @@ class TestUrls:
     def test_normalization_idempotent_property(self, host, path):
         url = f"http://{host}/{path}"
         assert normalize_url(normalize_url(url)) == normalize_url(url)
+
+    def test_fast_path_agrees_with_full_parse(self):
+        """The already-canonical fast path must match urlsplit exactly."""
+        from urllib.parse import urlsplit, urlunsplit
+
+        def full_parse(url):
+            parts = urlsplit(url.strip())
+            scheme = (parts.scheme or "http").lower()
+            netloc = parts.netloc.lower()
+            if netloc.endswith(":80") and scheme == "http":
+                netloc = netloc[: -len(":80")]
+            path = parts.path or "/"
+            while "//" in path:
+                path = path.replace("//", "/")
+            return urlunsplit((scheme, netloc, path, parts.query, ""))
+
+        cases = [
+            "http://a.example.com/page/1.html",
+            "http://host/", "http://host", "HTTP://Host/Path",
+            "http://host:80/x", "http://host:8080/x",
+            "http://host/a//b", "http://host/a?q=1", "http://host/a#frag",
+            " http://host/x ", "https://host/x", "http://user@host/x",
+            "http://host/x%20y", "http://host/tr ailing",
+            # urlsplit strips embedded tab/CR/LF; the fast path must defer.
+            "http://a.com/x\ty", "http://a.com/x\ny", "http://a.com/x\ry",
+            "http://a.com\t/x",
+        ]
+        for url in cases:
+            assert normalize_url(url) == full_parse(url), url
