@@ -12,7 +12,7 @@ Baseline history:
 * v2 — dict-backed (ordered-set) buckets made index deletes O(1),
   roughly doubling the serial loop; re-baselined to batched >= 1.3x
   serial (measured serial ~739 / batched ~1141 pages/sec).
-* v3 (this schema) — the columnar NumPy scoring core (PR 3): batch
+* v3 — the columnar NumPy scoring core (PR 3): batch
   classification and distillation compiled into array kernels, bulk
   write-path fast paths through minidb.  Defaults re-baselined to
   ``batch_size=32, fetch_workers=1``: the columnar kernels amortise
@@ -21,6 +21,17 @@ Baseline history:
   and lock-serialised — see ROADMAP).  Acceptance: the numpy-backend
   batched row must reach >= 3x the committed v2 batched baseline of
   1141 pages/sec, and the python rows must not regress.
+* v4 (this schema) — fetch transports and the asyncio fetch pipeline
+  (PR 4): every row is tagged with its ``transport`` / ``fetch_mode``
+  and carries the engine's ``fetch_overlap`` ratio (fraction of round
+  processing that ran while fetches were still in flight).
+  ``--transport latency`` adds an overlap comparison — the same batched
+  crawl through the latency-injecting transport (``--latency-ms``),
+  threaded vs. async — and reports ``async_speedup``.  Acceptance:
+  async >= 2x the threaded fetch path under injected latency; the
+  simulated-transport rows gate against the committed baseline exactly
+  as in v3 (rows are matched by mode/backend/transport/fetch_mode, so
+  pre-v4 baselines compare like with like).
 
 ``--durable`` adds a row: the batched crawl (fastest backend in the
 matrix) on a durable (segment-file + WAL) database with periodic
@@ -104,6 +115,7 @@ def crawl_once(
         "seconds": round(elapsed, 4),
         "pages_per_sec": round(fetched / elapsed, 2) if elapsed > 0 else 0.0,
         "harvest_rate": round(result.harvest_rate(), 4),
+        "fetch_overlap": round(result.crawler.engine.fetch_overlap_ratio(), 4),
         "stages": {
             stage: round(seconds, 4)
             for stage, seconds in result.crawler.engine.stage_timings.items()
@@ -129,8 +141,17 @@ def run_throughput(
     durable: bool = False,
     backends: Sequence[str] = BACKENDS,
     wal_fsync_batch: int = 0,
+    transport: str = "simulated",
+    latency_ms: float = 5.0,
+    max_inflight: int = 0,
 ) -> dict:
-    """Crawl serial vs. batched-per-backend (vs. durable) and return the payload."""
+    """Crawl serial vs. batched-per-backend (vs. durable, vs. latency) and return the payload.
+
+    The serial/batched baseline rows always run on the simulated
+    transport (the committed-baseline workload); ``transport="latency"``
+    *adds* the fetch-overlap comparison rows — the same batched crawl
+    through a ``latency_ms``-mean latency transport, threaded vs. async.
+    """
     workload = build_crawl_workload(seed=seed, scale=scale, max_pages=pages)
     system = workload.system
     seeds = system.default_seeds()
@@ -149,10 +170,28 @@ def run_throughput(
                 runs.append(crawl_once(system, seeds, pages, config))
         return min(runs, key=lambda r: r["seconds"])
 
+    def tagged(mode: str, backend: str, row: dict, transport_name: str = "simulated",
+               fetch_mode: str = "threaded") -> dict:
+        return {
+            "mode": mode,
+            "backend": backend,
+            "transport": transport_name,
+            "fetch_mode": fetch_mode,
+            **row,
+        }
+
+    # The baseline rows pin fetch_mode="threaded" explicitly: otherwise a
+    # REPRO_FETCH_MODE=async environment would silently measure the async
+    # pipeline under rows tagged (and gated) as the threaded path.
     serial = best(
-        CrawlerConfig(max_pages=pages, distill_every=distill_every, score_backend="python")
+        CrawlerConfig(
+            max_pages=pages,
+            distill_every=distill_every,
+            score_backend="python",
+            fetch_mode="threaded",
+        )
     )
-    results = [{"mode": "serial", "backend": "python", **serial}]
+    results = [tagged("serial", "python", serial)]
     by_backend = {}
     for backend in backends:
         batched = best(
@@ -163,10 +202,39 @@ def run_throughput(
                 batch_size=batch_size,
                 fetch_workers=fetch_workers,
                 score_backend=backend,
+                fetch_mode="threaded",
             )
         )
         by_backend[backend] = batched
-        results.append({"mode": "batched", "backend": backend, **batched})
+        results.append(tagged("batched", backend, batched))
+
+    async_speedup = None
+    if transport == "latency":
+        overlap_backend = "numpy" if "numpy" in backends else backends[0]
+        by_fetch_mode = {}
+        for fetch_mode in ("threaded", "async"):
+            row = best(
+                CrawlerConfig(
+                    max_pages=pages,
+                    distill_every=distill_every,
+                    engine="batched",
+                    batch_size=batch_size,
+                    fetch_workers=fetch_workers,
+                    score_backend=overlap_backend,
+                    fetch_mode=fetch_mode,
+                    max_inflight=max_inflight,
+                    transport="latency",
+                    transport_options={"mean_latency_ms": latency_ms, "seed": seed},
+                )
+            )
+            by_fetch_mode[fetch_mode] = row
+            results.append(tagged("batched", overlap_backend, row, "latency", fetch_mode))
+        if by_fetch_mode["threaded"]["pages_per_sec"]:
+            async_speedup = round(
+                by_fetch_mode["async"]["pages_per_sec"]
+                / by_fetch_mode["threaded"]["pages_per_sec"],
+                2,
+            )
     if durable:
         # The same batched crawl, persisted: every write WAL-logged, dirty
         # pages flushed on eviction, and a checkpoint every 200 fetches.
@@ -179,12 +247,13 @@ def run_throughput(
                 batch_size=batch_size,
                 fetch_workers=fetch_workers,
                 score_backend=durable_backend,
+                fetch_mode="threaded",
                 checkpoint_every=200,
                 wal_fsync_batch=wal_fsync_batch,
             ),
             persistent=True,
         )
-        results.append({"mode": "durable", "backend": durable_backend, **durable_run})
+        results.append(tagged("durable", durable_backend, durable_run))
 
     reference = by_backend.get("python", next(iter(by_backend.values())))
     speedup = (
@@ -200,7 +269,7 @@ def run_throughput(
     )
     return {
         "bench": "engine_throughput",
-        "schema_version": 3,
+        "schema_version": 4,
         "git_sha": git_sha(),
         "config": {
             "scale": scale,
@@ -213,10 +282,14 @@ def run_throughput(
             "durable": durable,
             "backends": list(backends),
             "wal_fsync_batch": wal_fsync_batch,
+            "transport": transport,
+            "latency_ms": latency_ms,
+            "max_inflight": max_inflight,
         },
         "results": results,
         "speedup": speedup,
         "columnar_speedup": columnar_speedup,
+        "async_speedup": async_speedup,
     }
 
 
@@ -229,25 +302,38 @@ def check_regression(
 ) -> list[str]:
     """Rows whose pages/sec dropped more than *max_drop* vs. the baseline.
 
-    Rows are matched by (mode, backend); pre-v3 baselines carry no
-    backend field and default to "python".  Rows missing on either side
-    are skipped (configs evolve), so the gate only compares like with
-    like.
+    Rows are matched by (mode, backend, transport, fetch_mode); pre-v3
+    baselines carry no backend field and default to "python", pre-v4
+    baselines carry no transport/fetch_mode and default to
+    "simulated"/"threaded".  Rows missing on either side are skipped
+    (configs evolve), so the gate only compares like with like.
 
     ``relative=True`` normalises every row by its own payload's
     serial[python] pages/sec before comparing, so absolute machine speed
     cancels out — required when the gate runs on different hardware than
     produced the baseline (e.g. CI runners vs. the reference container).
-    The serial row itself is then skipped (its ratio is 1 by definition).
+    The serial row itself is then skipped (its ratio is 1 by definition),
+    and so are latency-transport rows: their wall clock is dominated by
+    fixed injected sleeps, which do *not* scale with CPU speed, so
+    dividing them by the machine's serial throughput would fail faster
+    machines (and mask regressions on slower ones).
     """
 
     def indexed(results) -> dict:
         return {
-            (row["mode"], row.get("backend", "python")): row for row in results
+            (
+                row["mode"],
+                row.get("backend", "python"),
+                row.get("transport", "simulated"),
+                row.get("fetch_mode", "threaded"),
+            ): row
+            for row in results
         }
 
+    SERIAL_KEY = ("serial", "python", "simulated", "threaded")
+
     def scale_of(rows: dict) -> float:
-        serial = rows.get(("serial", "python"))
+        serial = rows.get(SERIAL_KEY)
         return serial["pages_per_sec"] if serial else 1.0
 
     failures = []
@@ -256,7 +342,7 @@ def check_regression(
     old_scale = scale_of(old_rows) if relative else 1.0
     new_scale = scale_of(new_rows) if relative else 1.0
     for key, row in new_rows.items():
-        if relative and key == ("serial", "python"):
+        if relative and (key == SERIAL_KEY or key[2] != "simulated"):
             continue
         old = old_rows.get(key)
         if old is None or not old.get("pages_per_sec"):
@@ -265,8 +351,11 @@ def check_regression(
         old_value = old["pages_per_sec"] / old_scale
         if new_value < (1.0 - max_drop) * old_value:
             unit = "x serial" if relative else "pages/sec"
+            label = f"{key[0]}[{key[1]}]"
+            if key[2:] != ("simulated", "threaded"):
+                label += f"[{key[2]}/{key[3]}]"
             failures.append(
-                f"{key[0]}[{key[1]}]: {round(new_value, 2)} {unit} is more than "
+                f"{label}: {round(new_value, 2)} {unit} is more than "
                 f"{max_drop:.0%} below the committed {round(old_value, 2)}"
             )
     return failures
@@ -286,7 +375,11 @@ def test_engine_throughput(bench_recorder, pytestconfig):
     """
     payload = run_throughput(**FULL, repeats=3)
     bench_recorder(payload)
-    rows = {(r["mode"], r["backend"]): r for r in payload["results"]}
+    rows = {
+        (r["mode"], r["backend"]): r
+        for r in payload["results"]
+        if r.get("transport", "simulated") == "simulated"
+    }
     serial = rows[("serial", "python")]
     batched = rows[("batched", "python")]
     columnar = rows[("batched", "numpy")]
@@ -301,7 +394,9 @@ def test_engine_throughput(bench_recorder, pytestconfig):
     committed_columnar = next(
         row
         for row in committed["results"]
-        if row["mode"] == "batched" and row.get("backend") == "numpy"
+        if row["mode"] == "batched"
+        and row.get("backend") == "numpy"
+        and row.get("transport", "simulated") == "simulated"
     )
     # Columnar acceptance, absolute form, certified by the committed run.
     assert committed_columnar["pages_per_sec"] >= 3.0 * PR2_BATCHED_BASELINE, committed
@@ -326,6 +421,25 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--backend",
         default=",".join(BACKENDS),
         help="comma-separated scoring backends to run batched rows for (python,numpy)",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=("simulated", "latency"),
+        default="simulated",
+        help="'latency' adds the fetch-overlap rows: the batched crawl through a "
+        "latency-injecting transport, threaded vs. async fetch pipeline",
+    )
+    parser.add_argument(
+        "--latency-ms",
+        type=float,
+        default=5.0,
+        help="mean injected per-fetch latency for --transport latency (default 5 ms)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=0,
+        help="async pipeline in-flight window for the latency rows (0 = round size)",
     )
     parser.add_argument(
         "--durable",
@@ -375,6 +489,9 @@ def main(argv: Optional[list[str]] = None) -> int:
         durable=args.durable,
         backends=tuple(b.strip() for b in args.backend.split(",") if b.strip()),
         wal_fsync_batch=args.wal_fsync_batch,
+        transport=args.transport,
+        latency_ms=args.latency_ms,
+        max_inflight=args.max_inflight,
     )
     write_payload(payload, args.output)
     for row in payload["results"]:
@@ -385,13 +502,20 @@ def main(argv: Optional[list[str]] = None) -> int:
             if "wal_bytes_written" in row
             else ""
         )
+        label = f"{row['mode']:>8}[{row['backend']}]"
+        if (row["transport"], row["fetch_mode"]) != ("simulated", "threaded"):
+            label += f"[{row['transport']}/{row['fetch_mode']}]"
+        if row["fetch_overlap"]:
+            extra += f"  overlap={row['fetch_overlap']:.0%}"
         print(
-            f"{row['mode']:>8}[{row['backend']}]: {row['pages']} pages in {row['seconds']}s "
+            f"{label}: {row['pages']} pages in {row['seconds']}s "
             f"({row['pages_per_sec']} pages/sec)  {stages}{extra}"
         )
     line = f"speedup : {payload['speedup']}x"
     if payload["columnar_speedup"] is not None:
         line += f"  columnar: {payload['columnar_speedup']}x"
+    if payload["async_speedup"] is not None:
+        line += f"  async: {payload['async_speedup']}x"
     print(f"{line}  ->  {args.output}")
 
     if args.baseline is not None and args.baseline.exists():

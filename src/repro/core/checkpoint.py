@@ -11,7 +11,8 @@ that lives *outside* the tables —
   streak, plus the trace accumulated so far;
 * the frontier's entries/priorities, per-server load, and discovery
   watermark;
-* the positions of the simulated-network RNG streams (fetcher and
+* the positions of the simulated-network RNG streams (the engine's
+  fetch transport — fetcher plus any latency-injection layer — and the
   server pool), so a resumed crawl sees the identical failure/latency
   sequence the uninterrupted crawl would have seen;
 * the incremental distiller's LINK high-water mark and pending weight
@@ -36,8 +37,8 @@ from typing import Any, Dict, List
 from repro.crawler.focused import CrawlerConfig, FocusedCrawler
 from repro.minidb import Database
 from repro.minidb.errors import StorageError
-from repro.webgraph.fetch import Fetcher
 from repro.webgraph.servers import ServerPool
+from repro.webgraph.transport import FetchTransport
 
 
 @dataclass
@@ -70,7 +71,7 @@ class CheckpointManager:
         self,
         database: Database,
         crawler: FocusedCrawler,
-        fetcher: Fetcher,
+        fetcher: FetchTransport,
         servers: ServerPool,
         seeds: List[str],
         good_topics: List[str],

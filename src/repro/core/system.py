@@ -266,10 +266,13 @@ class FocusSystem:
         seed_urls = [normalize_url(u) for u in (seeds if seeds is not None else self.default_seeds())]
         crawler.add_seeds(seed_urls)
         if checkpoint_dir is not None:
+            # The transport (not the bare fetcher) is the checkpointed
+            # fetch layer: it snapshots the whole I/O stack's RNG streams
+            # (for the default simulated transport the two are identical).
             manager = CheckpointManager(
                 database,
                 crawler,
-                fetcher,
+                crawler.engine.transport,
                 self.web.servers,
                 seeds=seed_urls,
                 good_topics=list(self.config.good_topics),
@@ -311,16 +314,18 @@ class FocusSystem:
         if getattr(config, "wal_fsync_batch", 0):
             database.backend.wal.fsync_batch = config.wal_fsync_batch
         fetcher = Fetcher(self.web, failure_seed=checkpoint.fetch_failure_seed)
-        fetcher.restore_state(checkpoint.fetcher_state)
         self.web.servers.restore_rng(checkpoint.server_rng_state)
         crawler_cls = FocusedCrawler if checkpoint.focused else UnfocusedCrawler
         crawler = crawler_cls(fetcher, self.model, self.taxonomy, database, config)
+        # The engine rebuilt the transport stack from the checkpointed
+        # config; rewind its RNG streams (fetcher included) to the save.
+        crawler.engine.transport.restore_state(checkpoint.fetcher_state)
         crawler.frontier.restore_state(checkpoint.frontier_state)
         crawler.engine.restore_state(checkpoint.engine_state)
         manager = CheckpointManager(
             database,
             crawler,
-            fetcher,
+            crawler.engine.transport,
             self.web.servers,
             seeds=list(checkpoint.seeds),
             good_topics=list(checkpoint.good_topics),

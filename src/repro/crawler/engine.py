@@ -14,8 +14,13 @@ into a :class:`CrawlEngine` with two interchangeable execution modes:
 
   1. *checkout*: the top-K frontier URLs in a single heap drain
      (:meth:`Frontier.pop_batch`), deterministic under oid tie-breaking;
-  2. *fetch*: the round's URLs go through a thread-pool fetch stage
-     (``CrawlerConfig.fetch_workers``) and come back in checkout order;
+  2. *fetch*: the round's URLs go through the fetch stage — a thread
+     pool (``CrawlerConfig.fetch_workers``) or, with
+     ``fetch_mode="async"``, an asyncio pipeline that keeps up to
+     ``max_inflight`` fetches outstanding on the configured
+     :mod:`~repro.webgraph.transport` and hands completed pages to
+     classification while later fetches are still in flight — either
+     way results are committed in checkout order;
   3. *classify*: one :meth:`HierarchicalModel.classify_batch` pass scores
      every fetched page — relevance and best leaf from a single posterior
      recursion, per-term work shared across the batch — behind an LRU of
@@ -36,6 +41,7 @@ bounded web, converges to the same crawl set.
 
 from __future__ import annotations
 
+import asyncio
 import os
 import time
 from collections import OrderedDict
@@ -56,10 +62,11 @@ from repro.minidb.pages import RecordId
 from repro.minidb.table import Table
 from repro.taxonomy.tree import TopicTaxonomy
 from repro.webgraph.fetch import Fetcher, FetchResult, FetchStatus
-from repro.webgraph.urls import normalize_url, server_sid, url_oid
+from repro.webgraph.transport import FetchTransport, build_transport
+from repro.webgraph.urls import host_of, normalize_url, server_sid, url_oid
 
 from .frontier import Frontier, FrontierEntry
-from .policies import CrawlOrdering
+from .policies import CrawlOrdering, FetchPolicy
 
 #: Relevance assigned to a link target before anything is known about it
 #: when the crawl runs unfocused (ordering ignores it anyway).
@@ -70,6 +77,21 @@ ENGINE_MODES = ("auto", "serial", "batched")
 
 #: Scoring backends accepted by ``CrawlerConfig.score_backend``.
 SCORE_BACKENDS = ("python", "numpy")
+
+#: Fetch-stage modes accepted by ``CrawlerConfig.fetch_mode``.  "auto"
+#: resolves to "threaded" (the PR-1 pipeline shape); "async" switches the
+#: batched engine to the asyncio overlap pipeline.
+FETCH_MODES = ("auto", "threaded", "async")
+
+
+def _default_fetch_mode() -> str:
+    """The session default: ``REPRO_FETCH_MODE`` env var, else ``"auto"``.
+
+    Mirrors ``REPRO_SCORE_BACKEND``: CI (and operators) can run the whole
+    system through the async fetch pipeline without threading a flag
+    through every entry point.
+    """
+    return os.environ.get("REPRO_FETCH_MODE", "auto")
 
 
 def _default_score_backend() -> str:
@@ -111,6 +133,22 @@ class CrawlerConfig:
     batch_size: int = 1
     #: Worker threads in the batched fetch stage (<= 1 fetches inline).
     fetch_workers: int = 1
+    #: Fetch-stage mode: "auto"/"threaded" keep the PR-1 pipeline shape;
+    #: "async" runs the round's fetches through an asyncio pipeline that
+    #: overlaps transport latency with classification and writes.
+    fetch_mode: str = field(default_factory=_default_fetch_mode)
+    #: Maximum fetches outstanding at once in async mode (0 = round size).
+    max_inflight: int = 0
+    #: Per-server cap on outstanding async fetches (0 = unlimited) — the
+    #: politeness back-stop of :class:`~repro.crawler.policies.FetchPolicy`.
+    per_server_inflight: int = 0
+    #: Fetch transport: "simulated" (default, bit-for-bit the PR-1
+    #: fetcher), "latency" (wall-clock latency/jitter/timeout injection),
+    #: or "http" (real network, requires aiohttp).
+    transport: str = "simulated"
+    #: Keyword options for the transport (see ``webgraph.transport``);
+    #: plain data so the choice rides along inside crawl checkpoints.
+    transport_options: dict = field(default_factory=dict)
     #: Engine mode: "auto" picks "batched" when batch_size > 1, else "serial".
     engine: str = "auto"
     #: Capacity of the batched path's LRU of classification outcomes (by oid).
@@ -118,6 +156,11 @@ class CrawlerConfig:
     #: Save a crawl checkpoint every this many successful fetches (0 disables;
     #: requires a durable database and an attached checkpoint manager).
     checkpoint_every: int = 0
+    #: Also save a checkpoint when this many wall-clock seconds have
+    #: passed since the last one (0 disables).  Complements
+    #: ``checkpoint_every`` for real-network crawls, where a fetch count
+    #: is a poor proxy for elapsed (and therefore at-risk) work.
+    checkpoint_interval_s: float = 0.0
     #: Scoring backend: "python" is the seed-faithful reference path
     #: (bit-for-bit); "numpy" compiles classification and distillation
     #: into columnar array kernels (1e-9-equivalent, several times faster).
@@ -224,6 +267,7 @@ class CrawlEngine:
         config: CrawlerConfig,
         frontier: Frontier,
         trace: CrawlTrace,
+        transport: Optional[FetchTransport] = None,
     ) -> None:
         if config.engine not in ENGINE_MODES:
             raise ValueError(
@@ -234,9 +278,25 @@ class CrawlEngine:
                 f"unknown score backend {config.score_backend!r}; "
                 f"expected one of {SCORE_BACKENDS}"
             )
+        if config.fetch_mode not in FETCH_MODES:
+            raise ValueError(
+                f"unknown fetch mode {config.fetch_mode!r}; expected one of {FETCH_MODES}"
+            )
         if config.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if config.checkpoint_interval_s < 0:
+            raise ValueError("checkpoint_interval_s must be >= 0")
         self.fetcher = fetcher
+        #: The fetch I/O layer; built from config unless injected (tests).
+        self.transport: FetchTransport = transport or build_transport(
+            config.transport, fetcher, config.transport_options
+        )
+        #: Validates the inflight knobs eagerly (FetchPolicy raises on
+        #: negatives) and is reused by every async round.
+        self.fetch_policy = FetchPolicy(
+            max_inflight=config.max_inflight,
+            per_server_inflight=config.per_server_inflight,
+        )
         self.classifier = classifier
         self.taxonomy = taxonomy
         self.database = database
@@ -250,7 +310,13 @@ class CrawlEngine:
         self._tick = 0
         self._since_distillation = 0
         self._since_checkpoint = 0
+        self._last_checkpoint_s: Optional[float] = None
         self._stagnation_misses = 0
+        #: Wall-clock seconds of round processing (classify + commit) that
+        #: ran while fetches were still in flight, and total round
+        #: processing time — the async pipeline's overlap instrumentation.
+        self.fetch_overlap_s = 0.0
+        self._round_process_s = 0.0
         #: oid -> measured relevance of every visited page, in visit order.
         self._relevance: Dict[int, float] = {}
         self._outcome_cache = OutcomeLRU(config.posterior_cache_size)
@@ -281,9 +347,29 @@ class CrawlEngine:
             return self.config.batch_size > 1
         return self.config.engine == "batched"
 
+    @property
+    def async_fetch(self) -> bool:
+        """True when the batched engine runs the asyncio fetch pipeline."""
+        return self.config.fetch_mode == "async"
+
+    def fetch_overlap_ratio(self) -> float:
+        """Fraction of round processing that ran while fetches were in flight.
+
+        0.0 for the serial/threaded paths (they drain the fetch stage
+        before processing); approaches 1.0 when the async pipeline hides
+        nearly all classification/write work behind transport latency.
+        """
+        if self._round_process_s <= 0.0:
+            return 0.0
+        return self.fetch_overlap_s / self._round_process_s
+
     # -- public API ------------------------------------------------------------------
     def run(self, budget: int) -> CrawlTrace:
         """Run the crawl loop until the page budget or the frontier is exhausted."""
+        if self.config.checkpoint_interval_s and self.checkpointer is not None:
+            # The wall clock is not resumable state: the interval timer
+            # starts fresh on every run (initial and resumed alike).
+            self._last_checkpoint_s = time.monotonic()
         try:
             if self.batched:
                 return self._run_batched(budget)
@@ -429,7 +515,7 @@ class CrawlEngine:
     def _visit_serial(self, url: str) -> bool:
         """Fetch, classify, persist, and expand one URL.  Returns True on success."""
         started = time.perf_counter()
-        result = self.fetcher.fetch(url)
+        result = self.transport.fetch(url)
         self.stage_timings["fetch"] += time.perf_counter() - started
         if result.status is FetchStatus.NOT_FOUND:
             self.frontier.record_failure(url, self.config.max_retries, permanent=True)
@@ -497,28 +583,16 @@ class CrawlEngine:
             if not urls:
                 self.trace.stagnated = True
                 break
-            started = time.perf_counter()
-            results = self._fetch_stage(urls)
-            self.stage_timings["fetch"] += time.perf_counter() - started
             self.frontier.begin_batch()
-            fetched: List[Tuple[str, FetchResult]] = []
-            for url, result in zip(urls, results):
-                if result.status is FetchStatus.OK:
-                    fetched.append((url, result))
-                    self._stagnation_misses = 0
-                    continue
-                permanent = result.status is FetchStatus.NOT_FOUND
-                self.frontier.record_failure(url, config.max_retries, permanent=permanent)
-                self.trace.failed_urls.append(url)
-                self._stagnation_misses += 1
-                if self._stagnation_misses >= config.stagnation_patience:
-                    self.trace.stagnated = True
-                    stop = True
-            started = time.perf_counter()
-            outcomes = self._classify_stage(fetched)
-            self.stage_timings["classify"] += time.perf_counter() - started
-            for (url, result), outcome in zip(fetched, outcomes):
-                self._commit_visit(url, result, outcome)
+            if self.async_fetch:
+                stop = asyncio.run(self._async_round(urls))
+            else:
+                started = time.perf_counter()
+                results = self._fetch_stage(urls)
+                self.stage_timings["fetch"] += time.perf_counter() - started
+                started = time.perf_counter()
+                stop = self._process_group(list(zip(urls, results)))
+                self._round_process_s += time.perf_counter() - started
             started = time.perf_counter()
             self.frontier.flush_batch()
             updated = self._link_writer.flush()
@@ -540,17 +614,108 @@ class CrawlEngine:
         draw order: the simulated transient-failure stream is one
         sequential generator (the "network"), and draining it from worker
         threads would make the crawl depend on thread scheduling.  Real
-        (or failure-free simulated) fetchers go through the pool.
+        (or failure-free simulated) transports go through the pool.
         """
-        order_sensitive = getattr(self.fetcher, "simulate_failures", False)
-        if len(urls) == 1 or self.config.fetch_workers <= 1 or order_sensitive:
-            return [self.fetcher.fetch(url) for url in urls]
+        transport = self.transport
+        if len(urls) == 1 or self.config.fetch_workers <= 1 or transport.order_sensitive:
+            return [transport.fetch(url) for url in urls]
         if self._pool is None:
             self._pool = ThreadPoolExecutor(
                 max_workers=self.config.fetch_workers,
                 thread_name_prefix="crawl-fetch",
             )
-        return list(self._pool.map(self.fetcher.fetch, urls))
+        return list(self._pool.map(transport.fetch, urls))
+
+    def _process_group(self, group: Sequence[Tuple[str, FetchResult]]) -> bool:
+        """Record failures, classify, and commit one contiguous result group.
+
+        *group* is a checkout-order slice of the round.  The threaded
+        path hands the whole round over as one group; the async path
+        hands over each contiguous completed prefix as it drains, so
+        processing overlaps the still-in-flight tail.  Returns True when
+        the stagnation patience ran out (the round still finishes).
+        """
+        config = self.config
+        stop = False
+        fetched: List[Tuple[str, FetchResult]] = []
+        for url, result in group:
+            if result.status is FetchStatus.OK:
+                fetched.append((url, result))
+                self._stagnation_misses = 0
+                continue
+            permanent = result.status is FetchStatus.NOT_FOUND
+            self.frontier.record_failure(url, config.max_retries, permanent=permanent)
+            self.trace.failed_urls.append(url)
+            self._stagnation_misses += 1
+            if self._stagnation_misses >= config.stagnation_patience:
+                self.trace.stagnated = True
+                stop = True
+        started = time.perf_counter()
+        outcomes = self._classify_stage(fetched)
+        self.stage_timings["classify"] += time.perf_counter() - started
+        for (url, result), outcome in zip(fetched, outcomes):
+            self._commit_visit(url, result, outcome)
+        return stop
+
+    async def _async_round(self, urls: Sequence[str]) -> bool:
+        """One crawl round on the asyncio fetch pipeline.
+
+        Up to ``FetchPolicy.effective_inflight`` fetches stay outstanding
+        (optionally capped per server); completed pages are classified and
+        committed — in checkout order, as contiguous completed prefixes —
+        while later fetches are still in flight.  Determinism rests on the
+        transport contract: every draw happens in :meth:`prepare`, called
+        here synchronously in checkout order, and classification outcomes
+        are grouping-invariant, so completion timing can change only the
+        wall clock, never the crawl.
+        """
+        transport = self.transport
+        policy = self.fetch_policy
+        started = time.perf_counter()
+        pendings = [transport.prepare(url) for url in urls]
+        self.stage_timings["fetch"] += time.perf_counter() - started
+        gate = asyncio.Semaphore(policy.effective_inflight(len(urls)))
+        server_gates: Dict[str, asyncio.Semaphore] = {}
+        per_server = policy.per_server_inflight
+
+        async def wait_one(pending):
+            async with gate:
+                if per_server:
+                    host = host_of(pending.url)
+                    server_gate = server_gates.setdefault(
+                        host, asyncio.Semaphore(per_server)
+                    )
+                    async with server_gate:
+                        return await transport.wait(pending)
+                return await transport.wait(pending)
+
+        tasks = [asyncio.create_task(wait_one(pending)) for pending in pendings]
+        stop = False
+        index = 0
+        try:
+            while index < len(tasks):
+                waited = time.perf_counter()
+                head = await tasks[index]
+                self.stage_timings["fetch"] += time.perf_counter() - waited
+                group = [(urls[index], head)]
+                index += 1
+                while index < len(tasks) and tasks[index].done():
+                    group.append((urls[index], tasks[index].result()))
+                    index += 1
+                in_flight = len(tasks) - index
+                started = time.perf_counter()
+                if self._process_group(group):
+                    stop = True
+                elapsed = time.perf_counter() - started
+                self._round_process_s += elapsed
+                if in_flight:
+                    self.fetch_overlap_s += elapsed
+        finally:
+            # Only reachable with pending tasks if processing raised
+            # (e.g. a test kill switch): don't leak them into the loop.
+            for task in tasks[index:]:
+                task.cancel()
+        return stop
 
     def _classify_stage(
         self, fetched: Sequence[Tuple[str, FetchResult]]
@@ -615,17 +780,32 @@ class CrawlEngine:
     def _maybe_checkpoint(self) -> None:
         """Save a resume point when one is due (round boundaries only).
 
-        The counter resets *before* the save so the persisted engine state
-        carries zero progress-toward-next-checkpoint, matching what a
-        resumed engine starts from.
+        Two independent triggers: every ``checkpoint_every`` successful
+        fetches, and every ``checkpoint_interval_s`` wall-clock seconds —
+        the latter bounds at-risk work when fetches are slow (real
+        networks) rather than plentiful.  The counter/timer reset
+        *before* the save so the persisted engine state carries zero
+        progress-toward-next-checkpoint, matching what a resumed engine
+        starts from.
         """
-        if (
-            self.checkpointer is not None
-            and self.config.checkpoint_every
+        if self.checkpointer is None:
+            return
+        count_due = (
+            self.config.checkpoint_every
             and self._since_checkpoint >= self.config.checkpoint_every
-        ):
-            self._since_checkpoint = 0
-            self.checkpointer.save()
+        )
+        interval = self.config.checkpoint_interval_s
+        time_due = (
+            interval
+            and self._last_checkpoint_s is not None
+            and time.monotonic() - self._last_checkpoint_s >= interval
+        )
+        if not (count_due or time_due):
+            return
+        self._since_checkpoint = 0
+        if interval:
+            self._last_checkpoint_s = time.monotonic()
+        self.checkpointer.save()
 
     def _expand(
         self, expansion: Sequence[Tuple[str, int, int]], relevance: float, hard_accepts: bool

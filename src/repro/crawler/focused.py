@@ -14,7 +14,10 @@ The loop itself lives in :mod:`repro.crawler.engine`;
 :class:`FocusedCrawler` is a thin driver that wires a frontier, a trace,
 and a :class:`~repro.crawler.engine.CrawlEngine` together.  Setting
 ``CrawlerConfig.batch_size`` (and optionally ``fetch_workers``) switches
-the engine from the reference serial loop to the batched pipeline.
+the engine from the reference serial loop to the batched pipeline;
+``fetch_mode="async"`` further switches the fetch stage to the asyncio
+pipeline over the configured fetch transport (``CrawlerConfig.transport``
+/ ``transport_options`` — see :mod:`repro.webgraph.transport`).
 
 Three focus modes are supported:
 

@@ -82,6 +82,32 @@ class CrawlOrdering:
         return entry_key
 
 
+@dataclass(frozen=True)
+class FetchPolicy:
+    """Concurrency policy of the async fetch stage (how hard to hit the network).
+
+    The crawl *ordering* decides what to fetch next; the fetch policy
+    decides how many of those fetches may be in flight at once, globally
+    and per server.  The per-server cap is the async-era form of the
+    paper's ``serverload`` politeness concern: with dozens of fetches
+    outstanding, a popular host would otherwise absorb the whole window.
+    Zero means "no explicit limit" for both knobs.
+    """
+
+    max_inflight: int = 0
+    per_server_inflight: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 0 or self.per_server_inflight < 0:
+            raise ValueError("inflight limits must be >= 0 (0 = unlimited)")
+
+    def effective_inflight(self, round_size: int) -> int:
+        """The global in-flight window for a round of *round_size* URLs."""
+        if self.max_inflight <= 0:
+            return max(1, round_size)
+        return max(1, min(self.max_inflight, round_size))
+
+
 def aggressive_discovery(serverload_bucket: int = 16) -> CrawlOrdering:
     """The paper's default: seek out new resources as fast as possible.
 

@@ -21,6 +21,16 @@ from .documents import Document, DocumentGenerator
 from .fetch import Fetcher, FetchResult, FetchStats, FetchStatus
 from .graph import SyntheticWebBuilder, WebConfig, WebGraph, WebPage
 from .servers import ServerPool, ServerProfile
+from .transport import (
+    TRANSPORTS,
+    FetchTransport,
+    HttpTransport,
+    LatencyTransport,
+    PendingFetch,
+    SimulatedTransport,
+    TransportUnavailable,
+    build_transport,
+)
 from .topics import (
     DEFAULT_TOPIC_SPEC,
     TopicNode,
@@ -40,16 +50,24 @@ __all__ = [
     "FetchResult",
     "FetchStats",
     "FetchStatus",
+    "FetchTransport",
+    "HttpTransport",
+    "LatencyTransport",
+    "PendingFetch",
     "ServerPool",
     "ServerProfile",
+    "SimulatedTransport",
     "SyntheticUrl",
     "SyntheticWebBuilder",
+    "TRANSPORTS",
     "TermDistribution",
     "TopicNode",
+    "TransportUnavailable",
     "Vocabulary",
     "WebConfig",
     "WebGraph",
     "WebPage",
+    "build_transport",
     "build_tree",
     "default_topic_tree",
     "host_of",

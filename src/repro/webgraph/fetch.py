@@ -7,6 +7,11 @@ would yield — status, tokens, out-links, and the serving host.  The
 fetcher also simulates transient server failures and dead links (404s),
 and accumulates simulated latency so experiments can report a crawl
 "timeline" without real network time.
+
+The crawl engine reaches this class through the transport layer
+(:mod:`repro.webgraph.transport`): the default ``SimulatedTransport``
+wraps it bit for bit, and ``LatencyTransport`` turns its simulated
+latency model into real wall-clock delays for overlap experiments.
 """
 
 from __future__ import annotations

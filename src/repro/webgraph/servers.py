@@ -16,6 +16,11 @@ import numpy as np
 
 from .urls import server_sid
 
+#: Fallbacks used for hosts without a registered profile (e.g. by
+#: :meth:`ServerPool.latency_profile` and the fetch transports).
+DEFAULT_MEAN_LATENCY_MS = 120.0
+DEFAULT_FAILURE_RATE = 0.02
+
 
 @dataclass
 class ServerProfile:
@@ -23,9 +28,9 @@ class ServerProfile:
 
     name: str
     #: Mean simulated latency per fetch, in milliseconds.
-    mean_latency_ms: float = 120.0
+    mean_latency_ms: float = DEFAULT_MEAN_LATENCY_MS
     #: Probability that any given fetch fails transiently (timeout, 5xx).
-    failure_rate: float = 0.02
+    failure_rate: float = DEFAULT_FAILURE_RATE
     #: Maximum concurrent/total politeness budget; crawlers may consult this.
     max_fetches_per_window: int = 10_000
 
@@ -81,6 +86,18 @@ class ServerPool:
         """Resume the failure/latency stream mid-sequence (crawl resume)."""
         self.rng = np.random.default_rng(0)
         self.rng.bit_generator.state = state
+
+    def latency_profile(self, name: str) -> tuple[float, float]:
+        """``(mean_latency_ms, failure_rate)`` of *name*, with defaults for unknown hosts.
+
+        Used by :class:`~repro.webgraph.transport.LatencyTransport` to
+        derive per-host wall-clock latency from the simulated profiles
+        without every caller re-implementing the fallback.
+        """
+        profile = self.profiles.get(name)
+        if profile is None:
+            return DEFAULT_MEAN_LATENCY_MS, DEFAULT_FAILURE_RATE
+        return profile.mean_latency_ms, profile.failure_rate
 
     # -- simulation -------------------------------------------------------------
     def simulate_fetch(self, name: str) -> tuple[bool, float]:

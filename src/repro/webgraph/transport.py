@@ -1,0 +1,416 @@
+"""Fetch transports: the pluggable I/O layer between the crawl engine and a web.
+
+The engine never talks to a :class:`~repro.webgraph.fetch.Fetcher` (or a
+network) directly any more; it talks to a *transport*.  A transport
+exposes the same fetch semantics three ways:
+
+* ``fetch(url)`` — the synchronous one-shot used by the serial loop and
+  the threaded fetch stage;
+* ``prepare(url)`` / ``await wait(pending)`` — the two-phase form used
+  by the asyncio fetch stage.  **Every random draw happens inside
+  ``prepare``**, synchronously, in submission order; ``wait`` only waits
+  out the (real or simulated) latency.  This is the determinism
+  contract: the shared failure/latency RNG streams advance in checkout
+  order, so the order in which concurrent fetches *complete* can never
+  change the draw sequence — same seed, same failure stream, any
+  interleaving.
+* ``state_snapshot()`` / ``restore_state()`` — checkpoint/resume hooks,
+  so a resumed crawl continues the exact RNG streams.
+
+Three transports are provided:
+
+* :class:`SimulatedTransport` — wraps the CPU-only simulated fetcher
+  bit for bit (the default; existing crawls are unchanged).
+* :class:`LatencyTransport` — injects configurable real wall-clock
+  latency, jitter, timeouts, and retries around an inner transport, so
+  fetch/compute overlap is measurable without touching a network.  All
+  of its draws also happen at ``prepare`` time, so latency crawls are
+  reproducible across serial, threaded, and async execution.
+* :class:`HttpTransport` — an asyncio real-network transport (stub)
+  behind an import guard on the optional ``aiohttp`` dependency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from .fetch import Fetcher, FetchResult, FetchStats, FetchStatus
+from .servers import ServerPool
+from .urls import host_of, normalize_url
+
+#: Transport names accepted by ``CrawlerConfig.transport``.
+TRANSPORTS = ("simulated", "latency", "http")
+
+
+class TransportUnavailable(RuntimeError):
+    """A transport's optional dependency is missing in this environment."""
+
+
+@dataclass
+class PendingFetch:
+    """A fetch in flight between :meth:`prepare` and :meth:`wait`.
+
+    For the deterministic transports the outcome is already fully
+    resolved (``result`` is set and ``delay_s`` is the wall-clock the
+    transport still owes); for :class:`HttpTransport` the real I/O
+    happens later, inside ``wait``.
+    """
+
+    url: str
+    result: Optional[FetchResult] = None
+    delay_s: float = 0.0
+    attempts: int = 1
+
+
+@runtime_checkable
+class FetchTransport(Protocol):
+    """What the crawl engine requires of a fetch transport."""
+
+    @property
+    def order_sensitive(self) -> bool:
+        """True when fetch outcomes depend on a shared sequential draw stream.
+
+        The threaded fetch stage refuses to fan out an order-sensitive
+        transport (thread scheduling would scramble the stream); the
+        async stage is always safe because draws happen in ``prepare``.
+        """
+
+    def fetch(self, url: str) -> FetchResult: ...
+
+    def prepare(self, url: str) -> PendingFetch: ...
+
+    async def wait(self, pending: PendingFetch) -> FetchResult: ...
+
+    def state_snapshot(self) -> dict: ...
+
+    def restore_state(self, state: dict) -> None: ...
+
+
+class SimulatedTransport:
+    """The default transport: the simulated :class:`Fetcher`, bit for bit.
+
+    ``fetch`` delegates straight to :meth:`Fetcher.fetch`, and the
+    snapshot/restore pair delegates to the fetcher's own RNG-stream
+    checkpointing — a crawl that never asks for latency injection or a
+    real network behaves exactly as it did before transports existed.
+    """
+
+    def __init__(self, fetcher: Fetcher) -> None:
+        self.fetcher = fetcher
+
+    @property
+    def order_sensitive(self) -> bool:
+        return bool(getattr(self.fetcher, "simulate_failures", False))
+
+    @property
+    def stats(self) -> FetchStats:
+        return self.fetcher.stats
+
+    def fetch(self, url: str) -> FetchResult:
+        return self.fetcher.fetch(url)
+
+    def prepare(self, url: str) -> PendingFetch:
+        # The outcome is resolved NOW, synchronously: the shared
+        # failure/latency streams advance in submission (checkout) order,
+        # so async completion interleaving cannot change the draws.
+        return PendingFetch(url=url, result=self.fetcher.fetch(url))
+
+    async def wait(self, pending: PendingFetch) -> FetchResult:
+        return pending.result
+
+    def state_snapshot(self) -> dict:
+        return self.fetcher.state_snapshot()
+
+    def restore_state(self, state: dict) -> None:
+        self.fetcher.restore_state(state)
+
+
+class LatencyTransport:
+    """Wraps a transport with real wall-clock latency, jitter, timeouts, retries.
+
+    The point is to give the simulated web the *shape* of a network —
+    high-latency fetches the engine can overlap with classification —
+    without needing one.  Content still comes from the inner transport;
+    this layer decides *when* it arrives and whether it times out first.
+
+    Determinism: every draw (latency, jitter, timeout, retry count)
+    comes from this transport's own seeded generator, consumed entirely
+    inside :meth:`prepare` under a lock.  A crawl over a latency
+    transport therefore produces identical results in serial, threaded
+    (``fetch`` = resolve-then-sleep), and async execution, and its RNG
+    stream checkpoints/restores exactly like the simulated fetcher's.
+
+    ``per_server`` overrides the mean latency (milliseconds) for
+    specific hosts; :meth:`from_server_pool` derives those overrides
+    from a :class:`~repro.webgraph.servers.ServerPool`'s profiles.
+    """
+
+    def __init__(
+        self,
+        inner: FetchTransport,
+        mean_latency_ms: float = 5.0,
+        jitter: float = 0.3,
+        timeout_ms: float = 50.0,
+        timeout_rate: float = 0.0,
+        max_retries: int = 1,
+        seed: int = 0,
+        time_scale: float = 1.0,
+        per_server: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if mean_latency_ms < 0 or timeout_ms < 0 or time_scale < 0:
+            raise ValueError("latencies and time_scale must be non-negative")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if not 0.0 <= timeout_rate < 1.0:
+            raise ValueError("timeout_rate must be in [0, 1)")
+        self.inner = inner
+        self.mean_latency_ms = mean_latency_ms
+        self.jitter = jitter
+        self.timeout_ms = timeout_ms
+        self.timeout_rate = timeout_rate
+        self.max_retries = max_retries
+        self.time_scale = time_scale
+        self.per_server = dict(per_server or {})
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()
+        #: Total wall-clock seconds of injected latency (before scaling).
+        self.injected_s = 0.0
+        self.timeouts = 0
+
+    @classmethod
+    def from_server_pool(
+        cls, inner: FetchTransport, pool: ServerPool, scale: float = 1.0, **kwargs
+    ) -> "LatencyTransport":
+        """Derive per-host mean latencies from a server pool's profiles."""
+        per_server = {
+            name: pool.latency_profile(name)[0] * scale for name in pool.names()
+        }
+        return cls(inner, per_server=per_server, **kwargs)
+
+    @property
+    def order_sensitive(self) -> bool:
+        # This layer always draws from its own sequential RNG stream in
+        # prepare(), so a thread pool would assign draws to URLs in
+        # scheduling order and break the determinism contract.  The
+        # threaded fetch stage therefore resolves latency fetches inline
+        # (sleep included); concurrency comes from the async pipeline,
+        # where prepare() runs in checkout order by construction.
+        return True
+
+    def fetch(self, url: str) -> FetchResult:
+        pending = self.prepare(url)
+        if pending.delay_s > 0:
+            time.sleep(pending.delay_s)
+        return pending.result
+
+    def prepare(self, url: str) -> PendingFetch:
+        with self._lock:
+            result = self.inner.fetch(url)
+            host = result.server or host_of(normalize_url(url))
+            mean_ms = self.per_server.get(host, self.mean_latency_ms)
+            # Timeout/retry loop: each timed-out attempt costs the full
+            # timeout budget; one attempt beyond max_retries fails the fetch.
+            attempts = 1
+            delay_ms = 0.0
+            timed_out = False
+            while self._rng.random() < self.timeout_rate:
+                delay_ms += self.timeout_ms
+                self.timeouts += 1
+                if attempts > self.max_retries:
+                    timed_out = True
+                    break
+                attempts += 1
+            if not timed_out:
+                # Uniform jitter around the per-host mean.
+                spread = 1.0 - self.jitter + 2.0 * self.jitter * self._rng.random()
+                delay_ms += mean_ms * spread
+            if timed_out:
+                result = FetchResult(
+                    url=result.url,
+                    status=FetchStatus.SERVER_ERROR,
+                    server=result.server,
+                    latency_ms=delay_ms,
+                )
+            delay_s = delay_ms / 1000.0
+            self.injected_s += delay_s
+            return PendingFetch(
+                url=url,
+                result=result,
+                delay_s=delay_s * self.time_scale,
+                attempts=attempts,
+            )
+
+    async def wait(self, pending: PendingFetch) -> FetchResult:
+        if pending.delay_s > 0:
+            await asyncio.sleep(pending.delay_s)
+        return pending.result
+
+    def state_snapshot(self) -> dict:
+        return {
+            "inner": self.inner.state_snapshot(),
+            "rng": self._rng.bit_generator.state,
+            "injected_s": self.injected_s,
+            "timeouts": self.timeouts,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.inner.restore_state(state["inner"])
+        self._rng.bit_generator.state = state["rng"]
+        self.injected_s = state["injected_s"]
+        self.timeouts = state["timeouts"]
+
+
+class HttpTransport:
+    """Asyncio real-network transport (stub) for crawling actual HTTP servers.
+
+    Import-guarded on the optional ``aiohttp`` dependency: constructing
+    one without it raises :class:`TransportUnavailable` with an install
+    hint instead of an import error at module load.  Real fetches are
+    inherently non-deterministic, so checkpoints carry only counters —
+    a resumed HTTP crawl re-fetches live content.
+    """
+
+    order_sensitive = False
+
+    def __init__(
+        self,
+        timeout_s: float = 20.0,
+        max_retries: int = 1,
+        user_agent: str = "repro-focused-crawler/0.2 (+research reproduction)",
+        max_links: int = 500,
+    ) -> None:
+        try:
+            import aiohttp
+        except ImportError as exc:  # pragma: no cover - exercised via the guard test
+            raise TransportUnavailable(
+                "HttpTransport needs the optional aiohttp dependency; "
+                "install it with `pip install repro-focused-crawler[http]`"
+            ) from exc
+        self._aiohttp = aiohttp
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.user_agent = user_agent
+        self.max_links = max_links
+        self.stats = FetchStats()
+        self._stats_lock = threading.Lock()
+
+    def fetch(self, url: str) -> FetchResult:  # pragma: no cover - network
+        return asyncio.run(self.wait(self.prepare(url)))
+
+    def prepare(self, url: str) -> PendingFetch:
+        # No draws, no I/O: the request is issued inside wait() so the
+        # engine's max_inflight gate bounds real connection concurrency.
+        return PendingFetch(url=url)
+
+    async def wait(self, pending: PendingFetch) -> FetchResult:  # pragma: no cover - network
+        aiohttp = self._aiohttp
+        url = pending.url
+        started = time.perf_counter()
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.max_retries + 1):
+            pending.attempts = attempt + 1
+            try:
+                timeout = aiohttp.ClientTimeout(total=self.timeout_s)
+                headers = {"User-Agent": self.user_agent}
+                async with aiohttp.ClientSession(timeout=timeout, headers=headers) as session:
+                    async with session.get(url) as response:
+                        if response.status == 404:
+                            return self._record(
+                                FetchResult(
+                                    url=url,
+                                    status=FetchStatus.NOT_FOUND,
+                                    server=host_of(url),
+                                    latency_ms=(time.perf_counter() - started) * 1000.0,
+                                )
+                            )
+                        if response.status >= 400:
+                            last_error = RuntimeError(f"HTTP {response.status}")
+                            continue
+                        text = await response.text()
+                        tokens, links = parse_html(text, base_url=url, max_links=self.max_links)
+                        return self._record(
+                            FetchResult(
+                                url=url,
+                                status=FetchStatus.OK,
+                                tokens=tokens,
+                                out_links=links,
+                                server=host_of(url),
+                                latency_ms=(time.perf_counter() - started) * 1000.0,
+                            )
+                        )
+            except (aiohttp.ClientError, asyncio.TimeoutError) as exc:
+                last_error = exc
+        del last_error  # transient detail; the status carries the outcome
+        return self._record(
+            FetchResult(
+                url=url,
+                status=FetchStatus.SERVER_ERROR,
+                server=host_of(url),
+                latency_ms=(time.perf_counter() - started) * 1000.0,
+            )
+        )
+
+    def _record(self, result: FetchResult) -> FetchResult:  # pragma: no cover - network
+        with self._stats_lock:
+            self.stats.record(result)
+        return result
+
+    def state_snapshot(self) -> dict:
+        return {"stats": asdict(self.stats)}
+
+    def restore_state(self, state: dict) -> None:
+        self.stats = FetchStats(**state["stats"])
+
+
+def parse_html(text: str, base_url: str, max_links: int = 500) -> tuple[list[str], list[str]]:
+    """Crude HTML → (tokens, absolute out-links) used by :class:`HttpTransport`."""
+    import re
+    from urllib.parse import urljoin
+
+    links: list[str] = []
+    for href in re.findall(r"""(?i)href\s*=\s*["']([^"'#]+)""", text):
+        absolute = urljoin(base_url, href.strip())
+        if absolute.startswith(("http://", "https://")):
+            links.append(absolute)
+        if len(links) >= max_links:
+            break
+    stripped = re.sub(r"(?s)<(script|style)[^>]*>.*?</\1>", " ", text)
+    stripped = re.sub(r"<[^>]+>", " ", stripped)
+    tokens = re.findall(r"[a-z][a-z0-9]+", stripped.lower())
+    return tokens, links
+
+
+def build_transport(
+    name: str, fetcher: Fetcher, options: Optional[dict] = None
+) -> FetchTransport:
+    """Construct a transport by registry name (``CrawlerConfig.transport``).
+
+    ``options`` is the plain-data ``CrawlerConfig.transport_options``
+    mapping, so a transport choice rides along inside crawl checkpoints
+    and a resumed crawl rebuilds the identical stack.
+    """
+    options = dict(options or {})
+    if name == "simulated":
+        if options:
+            raise ValueError(
+                f"the simulated transport takes no options, got {sorted(options)}"
+            )
+        return SimulatedTransport(fetcher)
+    if name == "latency":
+        from_pool = options.pop("per_server_from_pool", False)
+        inner = SimulatedTransport(fetcher)
+        if from_pool:
+            scale = options.pop("per_server_scale", 1.0)
+            return LatencyTransport.from_server_pool(
+                inner, fetcher.web.servers, scale=scale, **options
+            )
+        return LatencyTransport(inner, **options)
+    if name == "http":
+        return HttpTransport(**options)
+    raise ValueError(f"unknown transport {name!r}; expected one of {TRANSPORTS}")

@@ -184,6 +184,103 @@ class TestCrashResume:
         assert_traces_match(resumed, reference)
         resumed.database.close()
 
+    def test_async_fetch_killed_and_resumed_matches_uninterrupted(
+        self, checkpoint_system, reference_batched, tmp_path, monkeypatch
+    ):
+        """Kill/resume under fetch_mode="async": transport draws happen at
+        prepare time in checkout order and commits in checkout order, so
+        the asyncio pipeline resumes bit-identically — and, under the
+        simulated transport, equals the threaded reference exactly."""
+        config = crawl_config("batched")
+        config.fetch_mode = "async"
+        kill_fetcher_after(monkeypatch, 47)
+        with pytest.raises(KillSwitch):
+            checkpoint_system.crawl(
+                crawler_config=config,
+                fetch_failure_seed=FETCH_FAILURE_SEED,
+                checkpoint_dir=str(tmp_path / "crawl"),
+            )
+        monkeypatch.undo()
+
+        resumed = checkpoint_system.crawl(resume_from=str(tmp_path / "crawl"))
+        assert resumed.crawler.config.fetch_mode == "async"
+        assert resumed.pages_fetched() == MAX_PAGES
+        assert_traces_match(resumed, reference_batched)
+        resumed.database.close()
+
+    def test_latency_transport_killed_and_resumed_matches_uninterrupted(
+        self, checkpoint_system, tmp_path, monkeypatch
+    ):
+        """The latency transport's own RNG stream is part of the checkpoint:
+        a resumed latency crawl continues the exact delay/timeout draws."""
+        def latency_config():
+            config = crawl_config("batched")
+            config.fetch_mode = "async"
+            config.transport = "latency"
+            # time_scale=0: draws are made and checkpointed, sleeps skipped.
+            config.transport_options = {
+                "mean_latency_ms": 2.0,
+                "timeout_rate": 0.05,
+                "seed": 9,
+                "time_scale": 0.0,
+            }
+            return config
+
+        reference = checkpoint_system.crawl(
+            crawler_config=latency_config(), fetch_failure_seed=FETCH_FAILURE_SEED
+        )
+        kill_fetcher_after(monkeypatch, 52)
+        with pytest.raises(KillSwitch):
+            checkpoint_system.crawl(
+                crawler_config=latency_config(),
+                fetch_failure_seed=FETCH_FAILURE_SEED,
+                checkpoint_dir=str(tmp_path / "crawl"),
+            )
+        monkeypatch.undo()
+
+        resumed = checkpoint_system.crawl(resume_from=str(tmp_path / "crawl"))
+        assert resumed.crawler.config.transport == "latency"
+        assert resumed.pages_fetched() == MAX_PAGES
+        assert_traces_match(resumed, reference)
+        resumed.database.close()
+
+    def test_time_based_checkpoints_trigger_and_resume(
+        self, checkpoint_system, reference_batched, tmp_path, monkeypatch
+    ):
+        """checkpoint_interval_s alone (checkpoint_every=0) saves resume
+        points at round boundaries and does not perturb the crawl."""
+        def timed_config():
+            config = crawl_config("batched")
+            config.checkpoint_every = 0
+            config.checkpoint_interval_s = 1e-6  # every round is "due"
+            return config
+
+        result = checkpoint_system.crawl(
+            crawler_config=timed_config(),
+            fetch_failure_seed=FETCH_FAILURE_SEED,
+            checkpoint_dir=str(tmp_path / "undisturbed"),
+        )
+        assert_traces_match(result, reference_batched)
+        result.database.close()
+        reopened, saved = CheckpointManager.load(str(tmp_path / "undisturbed"))
+        reopened.close()
+        # The initial save plus at least one time-triggered round save.
+        assert saved.checkpoints_saved > 1
+        assert saved.config.checkpoint_interval_s == 1e-6
+
+        kill_fetcher_after(monkeypatch, 61)
+        with pytest.raises(KillSwitch):
+            checkpoint_system.crawl(
+                crawler_config=timed_config(),
+                fetch_failure_seed=FETCH_FAILURE_SEED,
+                checkpoint_dir=str(tmp_path / "killed"),
+            )
+        monkeypatch.undo()
+        resumed = checkpoint_system.crawl(resume_from=str(tmp_path / "killed"))
+        assert resumed.pages_fetched() == MAX_PAGES
+        assert_traces_match(resumed, reference_batched)
+        resumed.database.close()
+
     def test_checkpointing_does_not_perturb_the_crawl(
         self, checkpoint_system, reference_batched, tmp_path
     ):

@@ -6,6 +6,7 @@ from repro.core.schema import create_focus_database
 from repro.crawler.frontier import Frontier
 from repro.crawler.policies import (
     ORDERINGS,
+    FetchPolicy,
     aggressive_discovery,
     breadth_first,
     crawl_maintenance,
@@ -13,6 +14,27 @@ from repro.crawler.policies import (
     recovery_ordering,
     relevance_only,
 )
+
+
+class TestFetchPolicy:
+    def test_zero_means_round_size(self):
+        policy = FetchPolicy()
+        assert policy.effective_inflight(16) == 16
+        assert policy.effective_inflight(1) == 1
+
+    def test_cap_is_clamped_to_round_size(self):
+        policy = FetchPolicy(max_inflight=8)
+        assert policy.effective_inflight(32) == 8
+        assert policy.effective_inflight(4) == 4
+
+    def test_window_is_at_least_one(self):
+        assert FetchPolicy(max_inflight=3).effective_inflight(0) == 1
+
+    def test_negative_limits_rejected(self):
+        with pytest.raises(ValueError):
+            FetchPolicy(max_inflight=-1)
+        with pytest.raises(ValueError):
+            FetchPolicy(per_server_inflight=-2)
 
 
 class TestOrderings:

@@ -1,0 +1,290 @@
+"""Fetch-transport contract tests.
+
+The transports' determinism contract is what the async fetch pipeline's
+reproducibility (and checkpoint/resume bit-identity) rests on: every
+random draw happens inside ``prepare``, in submission order, so the
+order in which concurrent fetches *complete* can never change the
+failure/latency stream.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.webgraph.fetch import Fetcher, FetchStatus
+from repro.webgraph.servers import DEFAULT_MEAN_LATENCY_MS
+from repro.webgraph.transport import (
+    TRANSPORTS,
+    HttpTransport,
+    LatencyTransport,
+    SimulatedTransport,
+    TransportUnavailable,
+    build_transport,
+)
+
+SEED = 5
+
+
+def sample_urls(web, count=40):
+    """A deterministic spread of URLs across many servers."""
+    return sorted(web.pages)[:count]
+
+
+def fresh_transport(web, **latency_kwargs):
+    web.servers.reseed(SEED)
+    fetcher = Fetcher(web, failure_seed=SEED)
+    inner = SimulatedTransport(fetcher)
+    if latency_kwargs:
+        return LatencyTransport(inner, **latency_kwargs)
+    return inner
+
+
+def drain(transport, urls, order):
+    """Prepare *urls* in order, then await completions in *order*."""
+    async def run():
+        pendings = [transport.prepare(url) for url in urls]
+        results = [None] * len(urls)
+
+        async def one(index):
+            results[index] = await transport.wait(pendings[index])
+
+        await asyncio.gather(*[one(index) for index in order])
+        return results
+
+    return asyncio.run(run())
+
+
+class TestSimulatedTransport:
+    def test_fetch_delegates_bit_for_bit(self, small_web):
+        urls = sample_urls(small_web)
+        small_web.servers.reseed(SEED)
+        reference = [Fetcher(small_web, failure_seed=SEED).fetch(u) for u in urls]
+        small_web.servers.reseed(SEED)
+        transport = SimulatedTransport(Fetcher(small_web, failure_seed=SEED))
+        via_transport = [transport.fetch(u) for u in urls]
+        assert [(r.url, r.status, r.latency_ms) for r in reference] == [
+            (r.url, r.status, r.latency_ms) for r in via_transport
+        ]
+        assert [r.tokens for r in reference] == [r.tokens for r in via_transport]
+
+    def test_prepare_wait_equals_fetch(self, small_web):
+        urls = sample_urls(small_web)
+        sync_transport = fresh_transport(small_web)
+        sync = [sync_transport.fetch(u) for u in urls]
+        transport = fresh_transport(small_web)
+        in_order = drain(transport, urls, order=range(len(urls)))
+        assert [(r.status, r.latency_ms) for r in sync] == [
+            (r.status, r.latency_ms) for r in in_order
+        ]
+
+    def test_failure_stream_immune_to_completion_interleaving(self, small_web):
+        """Same seed => same failure/latency stream, any completion order.
+
+        The ServerPool RNG is one shared sequential generator; because
+        draws happen at prepare() time, awaiting the fetches back to
+        front (or any shuffle) must yield identical per-URL outcomes and
+        leave the generator in the identical end state.
+        """
+        urls = sample_urls(small_web)
+        forward = fresh_transport(small_web)
+        results_forward = drain(forward, urls, order=range(len(urls)))
+        state_forward = small_web.servers.rng_state()
+
+        backward = fresh_transport(small_web)
+        results_backward = drain(backward, urls, order=reversed(range(len(urls))))
+        state_backward = small_web.servers.rng_state()
+
+        assert [(r.url, r.status, r.latency_ms) for r in results_forward] == [
+            (r.url, r.status, r.latency_ms) for r in results_backward
+        ]
+        assert state_forward == state_backward
+        assert forward.state_snapshot() == backward.state_snapshot()
+
+    def test_snapshot_restore_resumes_stream(self, small_web):
+        # The server pool's stream is shared web state checkpointed
+        # separately (CheckpointManager.server_rng_state); rewind both,
+        # as a crawl resume does.
+        urls = sample_urls(small_web, count=30)
+        transport = fresh_transport(small_web)
+        for url in urls[:10]:
+            transport.fetch(url)
+        snapshot = transport.state_snapshot()
+        pool_state = small_web.servers.rng_state()
+        tail_a = [(transport.fetch(u).status, transport.fetch(u).latency_ms) for u in urls[10:20]]
+        transport.restore_state(snapshot)
+        small_web.servers.restore_rng(pool_state)
+        tail_b = [(transport.fetch(u).status, transport.fetch(u).latency_ms) for u in urls[10:20]]
+        assert tail_a == tail_b
+
+    def test_order_sensitivity_tracks_failure_simulation(self, small_web):
+        assert SimulatedTransport(Fetcher(small_web)).order_sensitive
+        assert not SimulatedTransport(
+            Fetcher(small_web, simulate_failures=False)
+        ).order_sensitive
+
+
+class TestLatencyTransport:
+    # time_scale=0 keeps the tests instant: delays are drawn and recorded
+    # but never slept.
+    def test_same_seed_same_delays_and_results(self, small_web):
+        urls = sample_urls(small_web)
+        # fresh_transport reseeds the shared server pool, so each
+        # transport must be created *and drained* before the next.
+        first = fresh_transport(small_web, mean_latency_ms=5.0, seed=9, time_scale=0.0)
+        pending_first = [first.prepare(u) for u in urls]
+        second = fresh_transport(small_web, mean_latency_ms=5.0, seed=9, time_scale=0.0)
+        pending_second = [second.prepare(u) for u in urls]
+        assert [(p.result.status, p.attempts) for p in pending_first] == [
+            (p.result.status, p.attempts) for p in pending_second
+        ]
+        assert first.injected_s == second.injected_s
+
+    def test_jitter_bounds_delay(self, small_web):
+        mean_ms, jitter = 8.0, 0.25
+        transport = fresh_transport(
+            small_web, mean_latency_ms=mean_ms, jitter=jitter, per_server={}
+        )
+        # Every per-host override is absent, so the global mean applies.
+        for url in sample_urls(small_web, count=20):
+            pending = transport.prepare(url)
+            injected_ms = pending.delay_s * 1000.0
+            assert mean_ms * (1 - jitter) <= injected_ms <= mean_ms * (1 + jitter)
+
+    def test_timeouts_exhaust_retries_into_server_error(self, small_web):
+        transport = fresh_transport(
+            small_web,
+            timeout_rate=0.999,
+            timeout_ms=10.0,
+            max_retries=2,
+            time_scale=0.0,
+        )
+        pending = transport.prepare(sample_urls(small_web)[0])
+        assert pending.result.status is FetchStatus.SERVER_ERROR
+        assert pending.attempts == 3  # initial try + 2 retries, all timed out
+        assert transport.timeouts == 3
+        # Each timed-out attempt costs the full timeout budget.
+        assert pending.result.latency_ms == pytest.approx(30.0)
+
+    def test_per_server_override_and_pool_profiles(self, small_web):
+        urls = sample_urls(small_web)
+        host = Fetcher(small_web).fetch(urls[0]).server
+        transport = fresh_transport(
+            small_web, mean_latency_ms=4.0, jitter=0.0, per_server={host: 40.0}
+        )
+        assert transport.prepare(urls[0]).delay_s == pytest.approx(0.040)
+
+        small_web.servers.reseed(SEED)
+        pooled = LatencyTransport.from_server_pool(
+            SimulatedTransport(Fetcher(small_web, failure_seed=SEED)),
+            small_web.servers,
+            scale=0.5,
+            jitter=0.0,
+        )
+        mean_ms, _ = small_web.servers.latency_profile(host)
+        assert pooled.per_server[host] == pytest.approx(mean_ms * 0.5)
+
+    def test_snapshot_restore_resumes_both_streams(self, small_web):
+        urls = sample_urls(small_web, count=30)
+        transport = fresh_transport(small_web, mean_latency_ms=5.0, time_scale=0.0)
+        for url in urls[:10]:
+            transport.prepare(url)
+        snapshot = transport.state_snapshot()
+        pool_state = small_web.servers.rng_state()
+        tail_a = [
+            (transport.prepare(u).result.status, transport.prepare(u).delay_s)
+            for u in urls[10:20]
+        ]
+        transport.restore_state(snapshot)
+        small_web.servers.restore_rng(pool_state)
+        tail_b = [
+            (transport.prepare(u).result.status, transport.prepare(u).delay_s)
+            for u in urls[10:20]
+        ]
+        assert tail_a == tail_b
+
+    def test_rejects_bad_parameters(self, small_web):
+        with pytest.raises(ValueError):
+            fresh_transport(small_web, jitter=1.5)
+        with pytest.raises(ValueError):
+            fresh_transport(small_web, timeout_rate=1.0)
+        with pytest.raises(ValueError):
+            fresh_transport(small_web, mean_latency_ms=-1.0)
+
+
+class TestServerPoolProfiles:
+    def test_latency_profile_defaults_for_unknown_hosts(self, small_web):
+        mean_ms, failure_rate = small_web.servers.latency_profile("nowhere.example")
+        assert mean_ms == DEFAULT_MEAN_LATENCY_MS
+        assert 0.0 <= failure_rate < 1.0
+
+    def test_latency_profile_reads_registered_profiles(self, small_web):
+        name = small_web.servers.names()[0]
+        profile = small_web.servers.get(name)
+        assert small_web.servers.latency_profile(name) == (
+            profile.mean_latency_ms,
+            profile.failure_rate,
+        )
+
+
+class TestBuildTransport:
+    def test_registry_names(self):
+        assert set(TRANSPORTS) == {"simulated", "latency", "http"}
+
+    def test_simulated_default(self, small_web):
+        transport = build_transport("simulated", Fetcher(small_web))
+        assert isinstance(transport, SimulatedTransport)
+
+    def test_simulated_rejects_options(self, small_web):
+        with pytest.raises(ValueError):
+            build_transport("simulated", Fetcher(small_web), {"mean_latency_ms": 1.0})
+
+    def test_latency_options_and_pool_derivation(self, small_web):
+        transport = build_transport(
+            "latency", Fetcher(small_web), {"mean_latency_ms": 3.0, "seed": 2}
+        )
+        assert isinstance(transport, LatencyTransport)
+        assert transport.mean_latency_ms == 3.0
+        pooled = build_transport(
+            "latency",
+            Fetcher(small_web),
+            {"per_server_from_pool": True, "per_server_scale": 0.1},
+        )
+        assert pooled.per_server  # one entry per registered server
+        assert len(pooled.per_server) == len(small_web.servers)
+
+    def test_unknown_transport_rejected(self, small_web):
+        with pytest.raises(ValueError):
+            build_transport("carrier-pigeon", Fetcher(small_web))
+
+    def test_http_transport_is_import_guarded(self):
+        try:
+            import aiohttp  # noqa: F401
+        except ImportError:
+            with pytest.raises(TransportUnavailable):
+                HttpTransport()
+        else:  # pragma: no cover - depends on the environment
+            transport = HttpTransport()
+            assert not transport.order_sensitive
+            assert transport.prepare("http://example.org/").result is None
+
+
+class TestHtmlParsing:
+    def test_parse_html_tokens_and_links(self):
+        from repro.webgraph.transport import parse_html
+
+        html = """
+        <html><head><style>body { color: red }</style>
+        <script>var x = 1;</script></head>
+        <body><h1>Cycling Hubs</h1>
+        <a href="/local/page">rel</a>
+        <a href="https://other.example/abs">abs</a>
+        <a href="#fragment-only">skip</a>
+        </body></html>
+        """
+        tokens, links = parse_html(html, base_url="http://example.org/dir/index.html")
+        assert "cycling" in tokens and "hubs" in tokens
+        assert "var" not in tokens and "color" not in tokens  # script/style stripped
+        assert links == [
+            "http://example.org/local/page",
+            "https://other.example/abs",
+        ]
