@@ -21,7 +21,7 @@ Baseline history:
   and lock-serialised — see ROADMAP).  Acceptance: the numpy-backend
   batched row must reach >= 3x the committed v2 batched baseline of
   1141 pages/sec, and the python rows must not regress.
-* v4 (this schema) — fetch transports and the asyncio fetch pipeline
+* v4 — fetch transports and the asyncio fetch pipeline
   (PR 4): every row is tagged with its ``transport`` / ``fetch_mode``
   and carries the engine's ``fetch_overlap`` ratio (fraction of round
   processing that ran while fetches were still in flight).
@@ -32,6 +32,13 @@ Baseline history:
   simulated-transport rows gate against the committed baseline exactly
   as in v3 (rows are matched by mode/backend/transport/fetch_mode, so
   pre-v4 baselines compare like with like).
+* v5 (this schema) — segment-file compaction (PR 5).  Durable rows
+  report the segment-file byte split (``segment_bytes_live/dead``) and
+  the cumulative checkpoint pause (``checkpoint_pause_s``); ``--compact``
+  adds a rewrite-heavy durable row (frequent checkpoints, aggressive
+  compaction policy) whose ``bytes_reclaimed`` / ``compactions_run``
+  quantify how much disk the compactor claws back and what the crawl
+  pays for it in checkpoint pauses.
 
 ``--durable`` adds a row: the batched crawl (fastest backend in the
 matrix) on a durable (segment-file + WAL) database with periodic
@@ -126,6 +133,15 @@ def crawl_once(
         stats["wal_bytes_written"] = int(snapshot["wal_bytes_written"])
         stats["wal_fsyncs"] = int(snapshot["wal_fsyncs"])
         stats["pages_flushed"] = int(snapshot["pages_flushed"])
+        stats["segment_bytes_total"] = int(snapshot["segment_bytes_total"])
+        stats["segment_bytes_live"] = int(snapshot["segment_bytes_live"])
+        stats["segment_bytes_dead"] = int(snapshot["segment_bytes_dead"])
+        stats["compactions_run"] = int(snapshot["compactions_run"])
+        stats["bytes_reclaimed"] = int(snapshot["bytes_reclaimed"])
+        checkpointer = result.crawler.engine.checkpointer
+        stats["checkpoint_pause_s"] = (
+            round(checkpointer.save_seconds, 4) if checkpointer is not None else 0.0
+        )
         result.database.close()
     return stats
 
@@ -139,6 +155,7 @@ def run_throughput(
     fetch_workers: int = FETCH_WORKERS,
     repeats: int = 1,
     durable: bool = False,
+    compact: bool = False,
     backends: Sequence[str] = BACKENDS,
     wal_fsync_batch: int = 0,
     transport: str = "simulated",
@@ -255,6 +272,31 @@ def run_throughput(
         )
         results.append(tagged("durable", durable_backend, durable_run))
 
+    if compact:
+        # The rewrite-heavy compaction row: frequent checkpoints and an
+        # aggressive garbage threshold, so every checkpoint rewrites the
+        # segment file down to its live pages.  bytes_reclaimed measures
+        # the disk the compactor claws back; checkpoint_pause_s measures
+        # what the crawl pays for it.
+        compact_backend = "numpy" if "numpy" in backends else backends[0]
+        compact_run = best(
+            CrawlerConfig(
+                max_pages=pages,
+                distill_every=distill_every,
+                engine="batched",
+                batch_size=batch_size,
+                fetch_workers=fetch_workers,
+                score_backend=compact_backend,
+                fetch_mode="threaded",
+                checkpoint_every=100,
+                wal_fsync_batch=wal_fsync_batch,
+                compact_every=1,
+                compact_min_garbage_ratio=0.05,
+            ),
+            persistent=True,
+        )
+        results.append(tagged("compact", compact_backend, compact_run))
+
     reference = by_backend.get("python", next(iter(by_backend.values())))
     speedup = (
         round(reference["pages_per_sec"] / serial["pages_per_sec"], 2)
@@ -269,7 +311,7 @@ def run_throughput(
     )
     return {
         "bench": "engine_throughput",
-        "schema_version": 4,
+        "schema_version": 5,
         "git_sha": git_sha(),
         "config": {
             "scale": scale,
@@ -280,6 +322,7 @@ def run_throughput(
             "fetch_workers": fetch_workers,
             "repeats": repeats,
             "durable": durable,
+            "compact": compact,
             "backends": list(backends),
             "wal_fsync_batch": wal_fsync_batch,
             "transport": transport,
@@ -447,6 +490,12 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="also crawl on a durable (WAL + checkpoint) database and report the overhead",
     )
     parser.add_argument(
+        "--compact",
+        action="store_true",
+        help="also run the rewrite-heavy compaction row (frequent checkpoints, "
+        "aggressive compaction) reporting bytes_reclaimed and checkpoint pause",
+    )
+    parser.add_argument(
         "--wal-fsync-batch",
         type=int,
         default=0,
@@ -487,6 +536,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         fetch_workers=args.workers,
         repeats=args.repeats,
         durable=args.durable,
+        compact=args.compact,
         backends=tuple(b.strip() for b in args.backend.split(",") if b.strip()),
         wal_fsync_batch=args.wal_fsync_batch,
         transport=args.transport,
@@ -502,6 +552,13 @@ def main(argv: Optional[list[str]] = None) -> int:
             if "wal_bytes_written" in row
             else ""
         )
+        if row.get("compactions_run"):
+            extra += (
+                f"  compactions={row['compactions_run']} "
+                f"reclaimed={row['bytes_reclaimed']}B "
+                f"seg={row['segment_bytes_total']}B "
+                f"ckpt_pause={row['checkpoint_pause_s']}s"
+            )
         label = f"{row['mode']:>8}[{row['backend']}]"
         if (row["transport"], row["fetch_mode"]) != ("simulated", "threaded"):
             label += f"[{row['transport']}/{row['fetch_mode']}]"

@@ -31,6 +31,7 @@ floats — that the uninterrupted crawl would have visited.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
@@ -91,6 +92,10 @@ class CheckpointManager:
         self.fetch_failure_seed = fetch_failure_seed
         self.focused = focused
         self.checkpoints_saved = 0
+        #: Cumulative wall-clock seconds the crawl spent paused inside
+        #: :meth:`save` — the price of durability (flush + snapshot +
+        #: any segment compaction), reported by the throughput bench.
+        self.save_seconds = 0.0
 
     def attach(self) -> None:
         """Register with the crawl engine as its checkpoint sink."""
@@ -98,8 +103,10 @@ class CheckpointManager:
 
     def save(self) -> None:
         """Checkpoint the database with the current crawl state riding along."""
+        started = time.perf_counter()
         self.checkpoints_saved += 1
         self.database.checkpoint(app_state=self._crawl_state())
+        self.save_seconds += time.perf_counter() - started
 
     def _crawl_state(self) -> CrawlCheckpoint:
         engine = self.crawler.engine

@@ -81,6 +81,9 @@ def create_focus_database(
     buffer_pool_pages: int = 2048,
     path: Optional[str] = None,
     wal_fsync_batch: int = 0,
+    compact_every: int = 1,
+    compact_min_garbage_ratio: float = 0.5,
+    ops=None,
 ) -> Database:
     """A database with the crawl tables created.
 
@@ -89,11 +92,18 @@ def create_focus_database(
     restarts; without it the store is in-memory, as in the seed.
     ``wal_fsync_batch`` (durable only) turns on WAL group commit: an
     fsync at least once per N logged records instead of only at
-    checkpoints.
+    checkpoints.  ``compact_every`` / ``compact_min_garbage_ratio``
+    (durable only) tune checkpoint-time segment compaction, and ``ops``
+    substitutes the file-operation layer (fault-injection tests).
     """
     if path is not None:
         database = Database.open(
-            path, buffer_pool_pages=buffer_pool_pages, wal_fsync_batch=wal_fsync_batch
+            path,
+            buffer_pool_pages=buffer_pool_pages,
+            wal_fsync_batch=wal_fsync_batch,
+            compact_every=compact_every,
+            compact_min_garbage_ratio=compact_min_garbage_ratio,
+            ops=ops,
         )
     else:
         database = Database(buffer_pool_pages=buffer_pool_pages)

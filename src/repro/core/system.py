@@ -244,6 +244,8 @@ class FocusSystem:
                 self.config.buffer_pool_pages,
                 path=checkpoint_dir,
                 wal_fsync_batch=config.wal_fsync_batch,
+                compact_every=config.compact_every,
+                compact_min_garbage_ratio=config.compact_min_garbage_ratio,
             )
         if checkpoint_dir is not None and database.app_state() is not None:
             database.close()
@@ -309,10 +311,14 @@ class FocusSystem:
         config = checkpoint.config
         if max_pages is not None:
             config.max_pages = max_pages
-        # Honour the crawl's WAL group-commit policy after the reopen (the
-        # checkpoint is read from the database, so open() could not know it).
+        # Honour the crawl's WAL group-commit and compaction policies after
+        # the reopen (the checkpoint is read from the database, so open()
+        # could not know them).
         if getattr(config, "wal_fsync_batch", 0):
             database.backend.wal.fsync_batch = config.wal_fsync_batch
+        compactor = database.backend.compactor
+        compactor.compact_every = getattr(config, "compact_every", 1)
+        compactor.min_garbage_ratio = getattr(config, "compact_min_garbage_ratio", 0.5)
         fetcher = Fetcher(self.web, failure_seed=checkpoint.fetch_failure_seed)
         self.web.servers.restore_rng(checkpoint.server_rng_state)
         crawler_cls = FocusedCrawler if checkpoint.focused else UnfocusedCrawler

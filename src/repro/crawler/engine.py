@@ -169,6 +169,15 @@ class CrawlerConfig:
     #: database: 0 keeps the seed behaviour (OS flush per record, fsync
     #: only at checkpoints); N >= 1 fsyncs once per N appended records.
     wal_fsync_batch: int = 0
+    #: Segment-file compaction cadence of a durable crawl database:
+    #: consider compacting at every Nth checkpoint (0 disables).  Long
+    #: crawls rewrite CRAWL rows and the HUBS/AUTH tables constantly, so
+    #: without compaction the segment file grows without bound.
+    compact_every: int = 1
+    #: Compact only when at least this fraction of the segment file's
+    #: payload bytes is dead (superseded images); bounds the file at
+    #: roughly live/(1 - ratio) bytes between compactions.
+    compact_min_garbage_ratio: float = 0.5
 
 
 @dataclass

@@ -23,8 +23,9 @@ Typical use::
 
 from .backend import DurableBackend, MemoryBackend, StorageBackend
 from .buffer_pool import BufferPool, IOStats
+from .compactor import Compactor
 from .database import Database
-from .wal import WriteAheadLog
+from .wal import FileOps, WriteAheadLog
 from .errors import (
     BufferPoolError,
     CatalogError,
@@ -63,12 +64,14 @@ __all__ = [
     "CatalogError",
     "Column",
     "ColumnType",
+    "Compactor",
     "ConstraintError",
     "Database",
     "DEFAULT_PAGE_SIZE",
     "DurableBackend",
     "Expression",
     "FLOAT",
+    "FileOps",
     "HashIndex",
     "INTEGER",
     "IOStats",

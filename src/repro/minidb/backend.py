@@ -16,19 +16,30 @@ provided:
   checkpoint and replay the log over it.
 
 The segment file is never rewritten in place — superseded page images
-simply become garbage (compaction is a roadmap follow-on) — so a crash
-can at worst leave an unreferenced tail, never a corrupt directory.
+simply become garbage — so a crash can at worst leave an unreferenced
+tail, never a corrupt directory.  Garbage does not accumulate forever,
+though: a :class:`~repro.minidb.compactor.Compactor` decides at
+checkpoint time whether to rewrite the live images into a fresh
+epoch-stamped segment file and atomically swap it in (the snapshot
+rename is the commit point; stale segment files are fenced — deleted —
+on the next open).  All file mutation goes through a pluggable
+:class:`~repro.minidb.wal.FileOps` so crash-recovery tests can inject
+faults at every individual I/O point.
 """
 
 from __future__ import annotations
 
 import os
+import re
 from typing import Any, Optional
 
+from .compactor import Compactor, SegmentEntry
 from .errors import BufferPoolError, StorageError
 from .pages import Page, PageId
 from .wal import (
+    FRAME_HEADER_SIZE,
     SEGMENT_MAGIC,
+    FileOps,
     WriteAheadLog,
     dump_record,
     load_record,
@@ -40,6 +51,17 @@ from .wal import (
 SEGMENT_FILE = "segments.dat"
 WAL_FILE = "wal.dat"
 SNAPSHOT_FILE = "snapshot.dat"
+
+#: Segment files carry the epoch of the compaction that wrote them;
+#: epoch 0 is the database's original (never-compacted) segment file.
+_SEGMENT_NAME = re.compile(r"^segments(?:\.(\d+))?\.dat$")
+
+
+def segment_file_name(segment_epoch: int) -> str:
+    """The on-disk name of the segment file written at *segment_epoch*."""
+    if segment_epoch == 0:
+        return SEGMENT_FILE
+    return f"segments.{segment_epoch:06d}.dat"
 
 
 class StorageBackend:
@@ -82,6 +104,29 @@ class StorageBackend:
 
     @property
     def pages_flushed(self) -> int:
+        return 0
+
+    @property
+    def segment_bytes_total(self) -> int:
+        """Current size of the segment file's payload (live + dead images)."""
+        return 0
+
+    @property
+    def segment_bytes_live(self) -> int:
+        """Bytes of the segment file still referenced by the page directory."""
+        return 0
+
+    @property
+    def segment_bytes_dead(self) -> int:
+        """Superseded image bytes a compaction would reclaim."""
+        return 0
+
+    @property
+    def compactions_run(self) -> int:
+        return 0
+
+    @property
+    def bytes_reclaimed(self) -> int:
         return 0
 
     def log(self, record: tuple) -> None:
@@ -132,51 +177,110 @@ class DurableBackend(StorageBackend):
 
     persistent = True
 
-    def __init__(self, path: str | os.PathLike, wal_fsync_batch: int = 0) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        wal_fsync_batch: int = 0,
+        ops: Optional[FileOps] = None,
+        compact_every: int = 1,
+        compact_min_garbage_ratio: float = 0.5,
+    ) -> None:
         self.path = os.fspath(path)
         self.wal_fsync_batch = max(int(wal_fsync_batch), 0)
+        self.ops = ops if ops is not None else FileOps()
+        self.compactor = Compactor(
+            compact_every=compact_every, min_garbage_ratio=compact_min_garbage_ratio
+        )
         os.makedirs(self.path, exist_ok=True)
-        self._segment_path = os.path.join(self.path, SEGMENT_FILE)
         self._snapshot_path = os.path.join(self.path, SNAPSHOT_FILE)
-        #: page id -> byte offset of the latest image in the segment file.
-        self._directory: dict[PageId, int] = {}
+        #: page id -> (offset, frame length) of the latest image.
+        self._directory: dict[PageId, SegmentEntry] = {}
         self._pages_flushed = 0
         self.snapshot_meta: Optional[dict[str, Any]] = None
 
-        if os.path.exists(self._segment_path):
-            self._segments = open(self._segment_path, "r+b")
-            magic = self._segments.read(len(SEGMENT_MAGIC))
-            if magic != SEGMENT_MAGIC:
-                raise StorageError(f"{self._segment_path} is not a minidb segment file")
-        else:
-            self._segments = open(self._segment_path, "w+b")
-            self._segments.write(SEGMENT_MAGIC)
-            self._segments.flush()
-
         epoch = 0
+        segment_epoch = 0
         if os.path.exists(self._snapshot_path):
             with open(self._snapshot_path, "rb") as fh:
                 self.snapshot_meta = load_record(read_frame_at(fh, 0))
             epoch = self.snapshot_meta["epoch"]
+            # Pre-compaction snapshots carry no segment epoch: their
+            # directory refers to the original segments.dat.
+            segment_epoch = self.snapshot_meta.get("segment_epoch", 0)
+
+        self._segment_epoch = segment_epoch
+        self._segment_path = os.path.join(self.path, segment_file_name(segment_epoch))
+        if os.path.exists(self._segment_path):
+            self._segments = self.ops.open(self._segment_path, "r+b")
+            magic = self._segments.read(len(SEGMENT_MAGIC))
+            if magic != SEGMENT_MAGIC:
+                raise StorageError(f"{self._segment_path} is not a minidb segment file")
+            self._segments.seek(0, os.SEEK_END)
+            self._segment_end = self._segments.tell()
+        elif self.snapshot_meta is not None and self.snapshot_meta["directory"]:
+            raise StorageError(
+                f"snapshot references missing segment file {self._segment_path}"
+            )
+        else:
+            self._segments = self.ops.open(self._segment_path, "w+b")
+            self._segments.write(SEGMENT_MAGIC)
+            self._segments.flush()
+            self._segment_end = len(SEGMENT_MAGIC)
+
+        self._live_bytes = 0
+        if self.snapshot_meta is not None:
             # Offsets are snapshot-scoped: images appended after the last
             # checkpoint are unreachable garbage (their logical content is
             # re-created by WAL replay), so the directory comes from the
             # snapshot alone.
-            self._directory = {
-                PageId(file_id, page_no): offset
-                for (file_id, page_no), offset in self.snapshot_meta["directory"].items()
-            }
+            for (file_id, page_no), entry in self.snapshot_meta["directory"].items():
+                if isinstance(entry, int):
+                    # Pre-compaction snapshot: a bare offset.  Re-read the
+                    # frame (recovery-time only) to recover its length —
+                    # CRC-verified, so damage surfaces here, not later.
+                    payload = read_frame_at(self._segments, entry)
+                    entry = (entry, FRAME_HEADER_SIZE + len(payload))
+                else:
+                    entry = tuple(entry)
+                self._directory[PageId(file_id, page_no)] = entry
+                self._live_bytes += entry[1]
+
+        self._fence_stale_segments()
         self.wal = WriteAheadLog(
-            os.path.join(self.path, WAL_FILE), fsync_batch=self.wal_fsync_batch
+            os.path.join(self.path, WAL_FILE),
+            fsync_batch=self.wal_fsync_batch,
+            ops=self.ops,
         )
         self._snapshot_epoch = epoch
 
+    def _fence_stale_segments(self) -> None:
+        """Delete segment files from other epochs.
+
+        Two crash windows leave them behind: a compaction that died
+        before its snapshot rename (the new, unpublished file is stale)
+        and one that died after the rename but before the unlink (the
+        old file is stale).  Either way only the snapshot's own segment
+        epoch is authoritative; removal is idempotent, so a crash during
+        the fence itself just repeats it on the next open.  A snapshot
+        temp file torn by a crash before its rename is swept up too.
+        """
+        snapshot_tmp = self._snapshot_path + ".tmp"
+        if os.path.exists(snapshot_tmp):
+            self.ops.remove(snapshot_tmp)
+        for name in sorted(os.listdir(self.path)):
+            match = _SEGMENT_NAME.match(name)
+            if match is None:
+                continue
+            file_epoch = int(match.group(1) or 0)
+            if file_epoch != self._segment_epoch:
+                self.ops.remove(os.path.join(self.path, name))
+
     # -- page transfer ----------------------------------------------------
     def load_page(self, page_id: PageId) -> Page:
-        offset = self._directory.get(page_id)
-        if offset is None:
+        entry = self._directory.get(page_id)
+        if entry is None:
             raise BufferPoolError(f"{page_id} does not exist")
-        page = Page.from_image(load_record(read_frame_at(self._segments, offset)))
+        page = Page.from_image(load_record(read_frame_at(self._segments, entry[0])))
         return page
 
     def store_page(self, page: Page) -> None:
@@ -189,14 +293,23 @@ class DurableBackend(StorageBackend):
         self._append_image(page)
 
     def _append_image(self, page: Page) -> None:
+        payload = dump_record(page.image())
         self._segments.seek(0, os.SEEK_END)
-        offset = write_frame(self._segments, dump_record(page.image()))
+        offset = write_frame(self._segments, payload)
         self._segments.flush()
-        self._directory[page.page_id] = offset
+        frame_len = FRAME_HEADER_SIZE + len(payload)
+        superseded = self._directory.get(page.page_id)
+        if superseded is not None:
+            self._live_bytes -= superseded[1]
+        self._directory[page.page_id] = (offset, frame_len)
+        self._live_bytes += frame_len
+        self._segment_end = offset + frame_len
         self._pages_flushed += 1
 
     def remove_page(self, page_id: PageId) -> None:
-        self._directory.pop(page_id, None)
+        entry = self._directory.pop(page_id, None)
+        if entry is not None:
+            self._live_bytes -= entry[1]
 
     def contains(self, page_id: PageId) -> bool:
         return page_id in self._directory
@@ -216,6 +329,30 @@ class DurableBackend(StorageBackend):
     @property
     def pages_flushed(self) -> int:
         return self._pages_flushed
+
+    @property
+    def segment_bytes_total(self) -> int:
+        return self._segment_end - len(SEGMENT_MAGIC)
+
+    @property
+    def segment_bytes_live(self) -> int:
+        return self._live_bytes
+
+    @property
+    def segment_bytes_dead(self) -> int:
+        return self.segment_bytes_total - self._live_bytes
+
+    @property
+    def compactions_run(self) -> int:
+        return self.compactor.compactions_run
+
+    @property
+    def bytes_reclaimed(self) -> int:
+        return self.compactor.bytes_reclaimed
+
+    @property
+    def segment_epoch(self) -> int:
+        return self._segment_epoch
 
     @property
     def epoch(self) -> int:
@@ -240,30 +377,67 @@ class DurableBackend(StorageBackend):
         """Atomically publish a snapshot of the current state, then reset the WAL.
 
         The caller must have flushed every dirty page first (so the
-        directory covers the full database image).  The snapshot is
-        written to a temp file and renamed over the old one; the epoch
-        bump ties it to the freshly reset WAL.  A crash between rename
-        and reset leaves a WAL with a stale epoch, which recovery
-        detects and discards (its records are inside the snapshot).
+        directory covers the full database image).  When the compactor
+        deems it worthwhile, the live images are first rewritten into a
+        new epoch-stamped segment file (fully fsynced before anything is
+        published).  Either way the snapshot — which carries the page
+        directory *and* the segment epoch it refers to — is written to a
+        temp file and renamed over the old one; that rename is the
+        single commit point, so directory and segment file can never
+        disagree.  The epoch bump ties the snapshot to the freshly reset
+        WAL: a crash between rename and reset leaves a WAL with a stale
+        epoch, which recovery detects and discards (its records are
+        inside the snapshot).  Stale segment files are unlinked last;
+        a crash before the unlink leaves them for the next open's fence.
         """
         self._segments.flush()
-        os.fsync(self._segments.fileno())
+        self.ops.fsync(self._segments)
         new_epoch = self._snapshot_epoch + 1
+        stale_segment: Optional[str] = None
+        reclaimed = 0
+        if self.compactor.due(self.segment_bytes_live, self.segment_bytes_dead):
+            reclaimed = self.segment_bytes_dead
+            stale_segment = self._segment_path
+            # The segment epoch normally tracks the snapshot epoch, but a
+            # checkpoint whose *publish* failed (e.g. ENOSPC — the process
+            # keeps running) leaves the segment epoch ahead of it; taking
+            # the max keeps the rewrite target strictly newer, so it can
+            # never open — and truncate — the current segment file itself.
+            new_segment_epoch = max(new_epoch, self._segment_epoch + 1)
+            new_path = os.path.join(self.path, segment_file_name(new_segment_epoch))
+            new_fh, new_directory, end = self.compactor.rewrite(
+                self.ops, self._segments, self._directory, new_path
+            )
+            self._segments.close()
+            self._segments = new_fh
+            self._segment_path = new_path
+            self._segment_epoch = new_segment_epoch
+            self._directory = new_directory
+            self._segment_end = end
+            self._live_bytes = end - len(SEGMENT_MAGIC)
         meta = dict(catalog_meta)
         meta["epoch"] = new_epoch
+        meta["segment_epoch"] = self._segment_epoch
         meta["directory"] = {
-            (page_id.file_id, page_id.page_no): offset
-            for page_id, offset in self._directory.items()
+            (page_id.file_id, page_id.page_no): entry
+            for page_id, entry in self._directory.items()
         }
         tmp_path = self._snapshot_path + ".tmp"
-        with open(tmp_path, "wb") as fh:
+        fh = self.ops.open(tmp_path, "w+b")
+        try:
             write_frame(fh, dump_record(meta))
             fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp_path, self._snapshot_path)
+            self.ops.fsync(fh)
+        finally:
+            fh.close()
+        self.ops.replace(tmp_path, self._snapshot_path)
+        # -- committed: everything below is post-publish bookkeeping ------
         self.snapshot_meta = meta
         self._snapshot_epoch = new_epoch
         self.wal.reset(new_epoch)
+        if stale_segment is not None:
+            self.compactor.note_committed(reclaimed)
+            self.ops.remove(stale_segment)
 
     def close(self) -> None:
         self.wal.close()

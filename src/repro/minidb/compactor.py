@@ -1,0 +1,141 @@
+"""Checkpoint-time compaction of the durable backend's segment file.
+
+The durable backend (:class:`~repro.minidb.backend.DurableBackend`)
+never rewrites its segment file in place: every page flush appends a
+fresh image, and the superseded image becomes garbage.  That is what
+makes a crash harmless — at worst it leaves an unreferenced tail — but
+it also means disk growth is unbounded on exactly the workloads the
+backend exists for: a long focused crawl rewrites CRAWL rows and the
+HUBS/AUTH score tables over and over, so dead images pile up forever.
+
+The :class:`Compactor` bounds that growth.  At :meth:`checkpoint
+<repro.minidb.backend.DurableBackend.checkpoint>` time it decides —
+policy knobs ``compact_every`` (consider compaction at every Nth
+checkpoint; 0 disables) and ``min_garbage_ratio`` (dead bytes as a
+fraction of payload bytes that makes a rewrite worthwhile) — whether to
+rewrite only the *live* page images into a brand-new epoch-stamped
+segment file.  The atomic-swap protocol:
+
+1. write every live image (CRC-verified while copying) into
+   ``segments.<epoch>.dat``, in old-file offset order, and fsync it;
+2. publish the checkpoint snapshot, whose page directory carries the
+   new offsets and the new ``segment_epoch``, via the usual
+   write-temp → fsync → rename — the rename is the commit point;
+3. truncate (reset) the WAL to the new epoch;
+4. unlink the stale segment file(s).
+
+A crash before step 2's rename leaves the old snapshot pointing at the
+old, untouched segment file; the half-written new segment is fenced
+(deleted) at the next open.  A crash after the rename leaves the new
+snapshot pointing at the fully-fsynced new segment; the old file is the
+stale one and is fenced instead.  There is no window in which the
+published directory can point into the wrong file.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import BinaryIO, Dict, Tuple
+
+from .errors import StorageError
+from .pages import PageId
+from .wal import (
+    FRAME_HEADER_SIZE,
+    SEGMENT_MAGIC,
+    FileOps,
+    read_frame_at,
+    write_frame,
+)
+
+#: Directory entry: (byte offset of the frame, total frame length).
+SegmentEntry = Tuple[int, int]
+
+
+class Compactor:
+    """Policy and mechanism for rewriting a segment file down to its live images."""
+
+    def __init__(self, compact_every: int = 1, min_garbage_ratio: float = 0.5) -> None:
+        if compact_every < 0:
+            raise StorageError("compact_every must be >= 0 (0 disables compaction)")
+        if not 0.0 <= min_garbage_ratio <= 1.0:
+            raise StorageError("compact_min_garbage_ratio must be within [0, 1]")
+        self.compact_every = int(compact_every)
+        self.min_garbage_ratio = float(min_garbage_ratio)
+        #: Committed compactions (a rewrite whose snapshot was published).
+        self.compactions_run = 0
+        #: Segment bytes reclaimed by committed compactions, cumulative.
+        self.bytes_reclaimed = 0
+        self._checkpoints_since_consideration = 0
+
+    # -- policy ------------------------------------------------------------
+    def due(self, live_bytes: int, dead_bytes: int) -> bool:
+        """Decide, at a checkpoint, whether this one should compact.
+
+        ``compact_every`` rate-limits how often the question is even
+        asked; once asked, the answer is yes only when the garbage
+        fraction of the segment payload reaches ``min_garbage_ratio``
+        (so a mostly-live file is never rewritten for nothing).
+        """
+        if not self.compact_every:
+            return False
+        self._checkpoints_since_consideration += 1
+        if self._checkpoints_since_consideration < self.compact_every:
+            return False
+        self._checkpoints_since_consideration = 0
+        total = live_bytes + dead_bytes
+        if total <= 0:
+            return False
+        return dead_bytes / total >= self.min_garbage_ratio
+
+    def note_committed(self, reclaimed_bytes: int) -> None:
+        """Record a compaction whose snapshot rename succeeded."""
+        self.compactions_run += 1
+        self.bytes_reclaimed += max(int(reclaimed_bytes), 0)
+
+    # -- mechanism ---------------------------------------------------------
+    def rewrite(
+        self,
+        ops: FileOps,
+        old_segments: BinaryIO,
+        directory: Dict[PageId, SegmentEntry],
+        new_path: str | os.PathLike,
+    ) -> Tuple[BinaryIO, Dict[PageId, SegmentEntry], int]:
+        """Copy the live images of *directory* into a fresh segment file.
+
+        Images are copied in old-file offset order (one sequential pass)
+        and CRC-verified on the way through; a damaged live image aborts
+        the compaction with :class:`StorageError` before anything is
+        published, leaving the old file authoritative.  Returns the new
+        (fsynced, not yet published) file handle, the rebuilt directory,
+        and the new end-of-file offset.
+        """
+        new_fh = ops.open(new_path, "w+b")
+        try:
+            new_fh.write(SEGMENT_MAGIC)
+            new_directory: Dict[PageId, SegmentEntry] = {}
+            end = len(SEGMENT_MAGIC)
+            for page_id, (offset, _length) in sorted(
+                directory.items(), key=lambda item: item[1][0]
+            ):
+                payload = read_frame_at(old_segments, offset)
+                new_offset = write_frame(new_fh, payload)
+                frame_len = FRAME_HEADER_SIZE + len(payload)
+                new_directory[page_id] = (new_offset, frame_len)
+                end = new_offset + frame_len
+            new_fh.flush()
+            ops.fsync(new_fh)
+        except Exception as exc:
+            # Closing the handle is always safe (unbuffered: nothing to
+            # flush, the on-disk state is untouched).  The *file* is
+            # removed only on a live-process abort (damaged source frame,
+            # disk full) — deliberately via plain os, not ops: an injected
+            # crash is not an abort — the process is dead and must leave
+            # the half-written file behind for the open-time fence.
+            new_fh.close()
+            if isinstance(exc, (StorageError, OSError)):
+                try:
+                    os.remove(new_path)
+                except OSError:  # pragma: no cover - cleanup is best-effort
+                    pass
+            raise
+        return new_fh, new_directory, end

@@ -65,6 +65,9 @@ class Database:
         page_size: int = DEFAULT_PAGE_SIZE,
         replay_wal: bool = True,
         wal_fsync_batch: int = 0,
+        ops=None,
+        compact_every: int = 1,
+        compact_min_garbage_ratio: float = 0.5,
     ) -> "Database":
         """Open (or create) a durable database at directory *path*.
 
@@ -78,11 +81,24 @@ class Database:
         ``wal_fsync_batch`` configures WAL group commit: ``0`` (default)
         fsyncs only at checkpoints, ``N >= 1`` fsyncs at least once per N
         logged records (see :class:`~repro.minidb.wal.WriteAheadLog`).
+
+        ``compact_every`` / ``compact_min_garbage_ratio`` tune the
+        checkpoint-time segment-file compactor (see
+        :class:`~repro.minidb.compactor.Compactor`); ``compact_every=0``
+        disables compaction entirely.  ``ops`` substitutes the file-
+        operation layer (:class:`~repro.minidb.wal.FileOps`) — the seam
+        the fault-injection tests crash at arbitrary I/O points.
         """
         return cls(
             buffer_pool_pages=buffer_pool_pages,
             page_size=page_size,
-            backend=DurableBackend(path, wal_fsync_batch=wal_fsync_batch),
+            backend=DurableBackend(
+                path,
+                wal_fsync_batch=wal_fsync_batch,
+                ops=ops,
+                compact_every=compact_every,
+                compact_min_garbage_ratio=compact_min_garbage_ratio,
+            ),
             replay_wal=replay_wal,
         )
 
@@ -306,6 +322,11 @@ class Database:
         snapshot["wal_bytes_written"] = float(self.backend.wal_bytes_written)
         snapshot["wal_fsyncs"] = float(self.backend.wal_fsyncs)
         snapshot["pages_flushed"] = float(self.backend.pages_flushed)
+        snapshot["segment_bytes_total"] = float(self.backend.segment_bytes_total)
+        snapshot["segment_bytes_live"] = float(self.backend.segment_bytes_live)
+        snapshot["segment_bytes_dead"] = float(self.backend.segment_bytes_dead)
+        snapshot["compactions_run"] = float(self.backend.compactions_run)
+        snapshot["bytes_reclaimed"] = float(self.backend.bytes_reclaimed)
         return snapshot
 
     def total_pages(self) -> int:

@@ -42,6 +42,37 @@ from .errors import StorageError
 #: Frame header: payload length and CRC32, both little-endian u32.
 _FRAME = struct.Struct("<II")
 
+FRAME_HEADER_SIZE = _FRAME.size
+
+
+class FileOps:
+    """The file-operation seam of the durable storage layer.
+
+    Every *mutating* file operation — opening for write, writing,
+    truncating, fsyncing, renaming, removing — goes through one of these
+    objects so tests can substitute a fault-injecting implementation
+    (:class:`repro.minidb.testing.FaultInjector`) that crashes the
+    process model at an arbitrary I/O point.  Reads are not routed: a
+    crash during a read leaves no durability hazard.
+
+    Files are opened unbuffered: the crash model is a process kill with
+    the OS surviving, so everything handed to the OS before the crash
+    point persists and nothing lingers in user-space buffers.
+    """
+
+    def open(self, path: str | os.PathLike, mode: str) -> BinaryIO:
+        return open(path, mode, buffering=0)
+
+    def fsync(self, fh: BinaryIO) -> None:
+        fh.flush()
+        os.fsync(fh.fileno())
+
+    def replace(self, src: str | os.PathLike, dst: str | os.PathLike) -> None:
+        os.replace(src, dst)
+
+    def remove(self, path: str | os.PathLike) -> None:
+        os.remove(path)
+
 #: File magics (8 bytes: 4 magic + 2 version + 2 reserved).
 WAL_MAGIC = b"MDBW\x01\x00\x00\x00"
 SEGMENT_MAGIC = b"MDBS\x01\x00\x00\x00"
@@ -129,20 +160,26 @@ class WriteAheadLog:
     the fsyncs issued either way.
     """
 
-    def __init__(self, path: str | os.PathLike, fsync_batch: int = 0) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        fsync_batch: int = 0,
+        ops: Optional[FileOps] = None,
+    ) -> None:
         self.path = os.fspath(path)
         self.fsync_batch = max(int(fsync_batch), 0)
+        self.ops = ops if ops is not None else FileOps()
         self.bytes_written = 0
         self.records_written = 0
         self.syncs_performed = 0
         self._pending_records = 0
         self._epoch = 0
         if os.path.exists(self.path):
-            self._fh = open(self.path, "r+b")
+            self._fh = self.ops.open(self.path, "r+b")
             self._epoch = self._read_header()
             self._fh.seek(0, io.SEEK_END)
         else:
-            self._fh = open(self.path, "w+b")
+            self._fh = self.ops.open(self.path, "w+b")
             self._write_header(0)
 
     # -- header ----------------------------------------------------------
@@ -196,8 +233,7 @@ class WriteAheadLog:
                 self.sync()
 
     def sync(self) -> None:
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        self.ops.fsync(self._fh)
         self.syncs_performed += 1
         self._pending_records = 0
 
@@ -223,7 +259,7 @@ class WriteAheadLog:
     def reset(self, epoch: int) -> None:
         """Discard every record and stamp the log with a new epoch."""
         self._write_header(epoch)
-        os.fsync(self._fh.fileno())
+        self.ops.fsync(self._fh)
         self._pending_records = 0
 
     def close(self) -> None:

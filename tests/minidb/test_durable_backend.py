@@ -13,6 +13,7 @@ from repro.minidb import (
 )
 from repro.minidb.backend import WAL_FILE
 from repro.minidb.errors import ConstraintError, StorageError
+from repro.minidb.testing import truncate_tail
 
 
 def people_schema():
@@ -107,9 +108,7 @@ class TestRecovery:
         with Database.open(tmp_path / "db") as db:
             fill(db.create_table("P", people_schema()), 0, 50)
 
-        wal_path = tmp_path / "db" / WAL_FILE
-        with open(wal_path, "r+b") as fh:
-            fh.truncate(os.path.getsize(wal_path) - 5)
+        truncate_tail(tmp_path / "db" / WAL_FILE, 5)
 
         with Database.open(tmp_path / "db") as recovered:
             # The single bulk insert was the torn record: nothing to replay,
@@ -127,8 +126,8 @@ class TestRecovery:
             fill(db.create_table("P", people_schema()), 0, 60)
             db.checkpoint()
 
-        with open(tmp_path / "db" / WAL_FILE, "r+b") as fh:
-            fh.truncate(0)
+        wal_path = tmp_path / "db" / WAL_FILE
+        truncate_tail(wal_path, os.path.getsize(wal_path))
 
         with Database.open(tmp_path / "db") as recovered:
             assert len(recovered.table("P")) == 60
@@ -145,6 +144,34 @@ class TestRecovery:
         # The discarded tail stays discarded on the next (replaying) open.
         with Database.open(tmp_path / "db") as again:
             assert len(again.table("P")) == 40
+
+    def test_pre_compaction_snapshot_format_still_opens(self, tmp_path):
+        """PR-2-era snapshots store bare offsets (no frame lengths, no
+        segment epoch); the opener recovers the lengths from the frame
+        headers so an in-place upgrade needs no migration step."""
+        from repro.minidb.backend import SNAPSHOT_FILE
+        from repro.minidb.wal import dump_record, load_record, read_frame_at, write_frame
+
+        with Database.open(tmp_path / "db") as db:
+            fill(db.create_table("P", people_schema()), 0, 80)
+            db.checkpoint()
+
+        snapshot_path = tmp_path / "db" / SNAPSHOT_FILE
+        with open(snapshot_path, "rb") as fh:
+            meta = load_record(read_frame_at(fh, 0))
+        meta.pop("segment_epoch")
+        meta["directory"] = {
+            key: offset for key, (offset, _length) in meta["directory"].items()
+        }
+        with open(snapshot_path, "wb") as fh:
+            write_frame(fh, dump_record(meta))
+
+        with Database.open(tmp_path / "db") as recovered:
+            table = recovered.table("P")
+            assert len(table) == 80
+            assert table.get_by_key((42,))[2] == "row42"
+            # And the recovered sizes feed the live/dead accounting.
+            assert recovered.io_snapshot()["segment_bytes_live"] > 0
 
     def test_app_state_rides_the_snapshot(self, tmp_path):
         with Database.open(tmp_path / "db") as db:

@@ -1,11 +1,15 @@
 """Unit tests for slotted pages, heap files, and record ids."""
 
+import os
+
 import pytest
 
-from repro.minidb import INTEGER, TEXT, StorageError, make_schema
+from repro.minidb import Database, INTEGER, TEXT, StorageError, make_schema
+from repro.minidb.backend import SEGMENT_FILE
 from repro.minidb.buffer_pool import BufferPool
 from repro.minidb.pages import Page, PageId, RecordId
 from repro.minidb.storage import HeapFile
+from repro.minidb.wal import SEGMENT_MAGIC
 
 
 def make_heap(page_size=512, pool_pages=8):
@@ -106,3 +110,39 @@ class TestHeapFile:
         rid = heap.insert(schema.validate_row((3, "q")))
         pairs = list(heap.scan())
         assert pairs == [(rid, (3, "q"))]
+
+
+class TestSegmentAccounting:
+    """The segment-file size baseline behind the compactor's live/dead split."""
+
+    def test_io_snapshot_reports_segment_bytes_total(self, tmp_path):
+        schema = make_schema(("k", INTEGER, False), ("payload", TEXT))
+        with Database.open(
+            tmp_path / "db", buffer_pool_pages=2, page_size=512, compact_every=0
+        ) as db:
+            table = db.create_table("T", schema)
+            for i in range(200):  # spill through the 2-frame pool
+                table.insert((i, "x" * 20))
+            # Rewrites supersede earlier page images: dead bytes appear.
+            table.update_rows([(rid, {"payload": "y" * 20}) for rid, _ in table.scan()])
+            db.checkpoint()
+            snap = db.io_snapshot()
+            assert snap["segment_bytes_total"] > 0
+            # Total is exactly what is on disk (minus the magic header)...
+            on_disk = os.path.getsize(tmp_path / "db" / SEGMENT_FILE)
+            assert snap["segment_bytes_total"] == on_disk - len(SEGMENT_MAGIC)
+            # ... and decomposes into the live/dead split.
+            assert (
+                snap["segment_bytes_total"]
+                == snap["segment_bytes_live"] + snap["segment_bytes_dead"]
+            )
+            # The eviction churn re-wrote pages, so some bytes are dead.
+            assert snap["segment_bytes_dead"] > 0
+
+    def test_memory_database_reports_zero_segment_bytes(self):
+        snap = Database().io_snapshot()
+        assert snap["segment_bytes_total"] == 0.0
+        assert snap["segment_bytes_live"] == 0.0
+        assert snap["segment_bytes_dead"] == 0.0
+        assert snap["compactions_run"] == 0.0
+        assert snap["bytes_reclaimed"] == 0.0

@@ -1,10 +1,9 @@
 """Write-ahead log framing: round trips, torn tails, and epoch fencing."""
 
-import os
-
 import pytest
 
 from repro.minidb.errors import StorageError
+from repro.minidb.testing import FaultInjector, SimulatedCrash, flip_byte, truncate_tail
 from repro.minidb.wal import (
     WAL_HEADER_SIZE,
     WriteAheadLog,
@@ -52,9 +51,7 @@ class TestWriteAheadLog:
 
         # Chop the file mid-way through the last record's payload — the
         # torn tail a crash during append leaves behind.
-        full_size = os.path.getsize(path)
-        with open(path, "r+b") as fh:
-            fh.truncate(full_size - 3)
+        truncate_tail(path, 3)
 
         reopened = WriteAheadLog(path)
         assert reopened.replay() == RECORDS[:-1]
@@ -74,24 +71,23 @@ class TestWriteAheadLog:
 
         # Flip a byte inside the *second* record's payload: everything
         # from there on is unrecoverable, only the prefix survives.
-        with open(path, "r+b") as fh:
-            fh.seek(WAL_HEADER_SIZE + offsets[1] + 10)
-            byte = fh.read(1)
-            fh.seek(-1, os.SEEK_CUR)
-            fh.write(bytes([byte[0] ^ 0xFF]))
+        flip_byte(path, WAL_HEADER_SIZE + offsets[1] + 10)
 
         reopened = WriteAheadLog(path)
         assert reopened.replay() == RECORDS[:1]
         reopened.close()
 
     def test_partial_header_only(self, tmp_path):
+        """A crash mid-way through a frame *header* write leaves a tail too
+        short to even carry a length field."""
         path = tmp_path / "wal.dat"
-        wal = WriteAheadLog(path)
+        injector = FaultInjector()
+        wal = WriteAheadLog(path, ops=injector)
         wal.append(RECORDS[0])
-        wal.close()
-        with open(path, "r+b") as fh:
-            fh.seek(0, os.SEEK_END)
-            fh.write(b"\x44")  # 1 of 8 header bytes: torn before the payload
+        injector.crash_at = injector.op_count  # the next frame's header write
+        with pytest.raises(SimulatedCrash):
+            wal.append(RECORDS[1])
+        wal._fh.close()
 
         reopened = WriteAheadLog(path)
         assert reopened.replay() == RECORDS[:1]
