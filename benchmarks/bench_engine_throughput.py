@@ -32,13 +32,22 @@ Baseline history:
   simulated-transport rows gate against the committed baseline exactly
   as in v3 (rows are matched by mode/backend/transport/fetch_mode, so
   pre-v4 baselines compare like with like).
-* v5 (this schema) — segment-file compaction (PR 5).  Durable rows
+* v5 — segment-file compaction (PR 5).  Durable rows
   report the segment-file byte split (``segment_bytes_live/dead``) and
   the cumulative checkpoint pause (``checkpoint_pause_s``); ``--compact``
   adds a rewrite-heavy durable row (frequent checkpoints, aggressive
   compaction policy) whose ``bytes_reclaimed`` / ``compactions_run``
   quantify how much disk the compactor claws back and what the crawl
   pays for it in checkpoint pauses.
+* v6 (this schema) — the multi-tenant crawl service (PR 6).
+  ``--service`` adds a load-generator row: ``--service-jobs`` concurrent
+  crawl jobs submitted to a :class:`repro.JobManager` multiplexing one
+  shared fetch pool, fair round-robin scheduled to completion.  The row
+  reports aggregate ``pages_per_sec`` plus the service-level metrics —
+  ``jobs``, ``jobs_per_sec``, and the submit-to-completion job latency
+  percentiles ``job_latency_p50_s`` / ``job_latency_p99_s``.  Because
+  every tenant is bit-identical to a solo crawl, the row measures pure
+  scheduling/multiplexing overhead.
 
 ``--durable`` adds a row: the batched crawl (fastest backend in the
 matrix) on a durable (segment-file + WAL) database with periodic
@@ -73,8 +82,10 @@ import time
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.core.config import JobSpec
 from repro.crawler.engine import CrawlerConfig
 from repro.experiments.workloads import build_crawl_workload
+from repro.service import JobManager
 
 #: Full-scale defaults (the acceptance configuration).
 FULL = {"scale": 0.6, "pages": 1400, "distill_every": 100, "seed": 7}
@@ -146,6 +157,84 @@ def crawl_once(
     return stats
 
 
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+def run_service_row(
+    system,
+    seeds,
+    pages: int,
+    distill_every: int,
+    backend: str,
+    batch_size: int,
+    fetch_workers: int,
+    jobs: int,
+) -> dict:
+    """The load-generator row: *jobs* concurrent crawls through the JobManager.
+
+    Each tenant crawls ``pages // jobs`` pages with its own failure seed;
+    the manager round-robins them over one shared fetch pool, so the row
+    measures multiplexing overhead and the job-latency distribution the
+    service delivers under K-tenant load.
+    """
+    pages_per_job = max(pages // jobs, 1)
+    manager = JobManager(system, rounds_per_step=1)
+    start = time.perf_counter()
+    ids = []
+    for tenant in range(jobs):
+        # One config per job: the handle folds max_pages into it in place.
+        config = CrawlerConfig(
+            max_pages=pages_per_job,
+            distill_every=distill_every,
+            engine="batched",
+            batch_size=batch_size,
+            fetch_workers=fetch_workers,
+            score_backend=backend,
+            fetch_mode="threaded",
+        )
+        ids.append(
+            manager.submit(
+                JobSpec(
+                    seeds=tuple(seeds),
+                    max_pages=pages_per_job,
+                    fetch_failure_seed=tenant,
+                    crawler=config,
+                    name=f"tenant-{tenant}",
+                )
+            )
+        )
+    manager.run_until_idle()
+    elapsed = time.perf_counter() - start
+
+    summaries = [manager.result_summary(job_id) for job_id in ids]
+    fetched = sum(summary["pages_fetched"] for summary in summaries)
+    stages: dict[str, float] = {}
+    for job_id in ids:
+        for stage, seconds in manager.stats(job_id)["stage_timings"].items():
+            stages[stage] = stages.get(stage, 0.0) + seconds
+    latencies = sorted(manager.latencies())
+    return {
+        "pages": fetched,
+        "seconds": round(elapsed, 4),
+        "pages_per_sec": round(fetched / elapsed, 2) if elapsed > 0 else 0.0,
+        "harvest_rate": round(
+            sum(summary["harvest_rate"] for summary in summaries) / len(summaries), 4
+        ),
+        "fetch_overlap": 0.0,
+        "stages": {stage: round(seconds, 4) for stage, seconds in stages.items()},
+        "jobs": jobs,
+        "pages_per_job": pages_per_job,
+        "jobs_per_sec": round(jobs / elapsed, 2) if elapsed > 0 else 0.0,
+        "job_latency_p50_s": round(percentile(latencies, 0.50), 4),
+        "job_latency_p99_s": round(percentile(latencies, 0.99), 4),
+    }
+
+
 def run_throughput(
     scale: float,
     pages: int,
@@ -161,6 +250,8 @@ def run_throughput(
     transport: str = "simulated",
     latency_ms: float = 5.0,
     max_inflight: int = 0,
+    service: bool = False,
+    service_jobs: int = 8,
 ) -> dict:
     """Crawl serial vs. batched-per-backend (vs. durable, vs. latency) and return the payload.
 
@@ -297,6 +388,24 @@ def run_throughput(
         )
         results.append(tagged("compact", compact_backend, compact_run))
 
+    if service:
+        # The multi-tenant load-generator row: K concurrent jobs through
+        # the JobManager's shared fetch pool, reported with job-latency
+        # percentiles.  Uses the fastest backend in the matrix (the
+        # service's deployment configuration).
+        service_backend = "numpy" if "numpy" in backends else backends[0]
+        service_run = run_service_row(
+            system,
+            seeds,
+            pages,
+            distill_every,
+            backend=service_backend,
+            batch_size=batch_size,
+            fetch_workers=fetch_workers,
+            jobs=service_jobs,
+        )
+        results.append(tagged("service", service_backend, service_run))
+
     reference = by_backend.get("python", next(iter(by_backend.values())))
     speedup = (
         round(reference["pages_per_sec"] / serial["pages_per_sec"], 2)
@@ -311,7 +420,7 @@ def run_throughput(
     )
     return {
         "bench": "engine_throughput",
-        "schema_version": 5,
+        "schema_version": 6,
         "git_sha": git_sha(),
         "config": {
             "scale": scale,
@@ -328,6 +437,8 @@ def run_throughput(
             "transport": transport,
             "latency_ms": latency_ms,
             "max_inflight": max_inflight,
+            "service": service,
+            "service_jobs": service_jobs,
         },
         "results": results,
         "speedup": speedup,
@@ -416,7 +527,7 @@ def test_engine_throughput(bench_recorder, pytestconfig):
       criterion — numpy-backend batched >= 3x the PR-2 1141 pages/sec —
       and this run must land within the regression gate's 20% of it.
     """
-    payload = run_throughput(**FULL, repeats=3)
+    payload = run_throughput(**FULL, repeats=3, service=True)
     bench_recorder(payload)
     rows = {
         (r["mode"], r["backend"]): r
@@ -443,6 +554,12 @@ def test_engine_throughput(bench_recorder, pytestconfig):
     )
     # Columnar acceptance, absolute form, certified by the committed run.
     assert committed_columnar["pages_per_sec"] >= 3.0 * PR2_BATCHED_BASELINE, committed
+    # Service acceptance (v6): the multi-tenant row exists and reports the
+    # job-latency percentiles the crawl service is benchmarked on.
+    service_row = next(row for row in payload["results"] if row["mode"] == "service")
+    assert service_row["jobs"] == 8
+    assert 0 < service_row["job_latency_p50_s"] <= service_row["job_latency_p99_s"]
+    assert 0 < service_row["pages"] <= service_row["jobs"] * service_row["pages_per_job"]
     # And this run must not have drifted out of the (machine-normalised)
     # regression gate.
     drift = check_regression(payload, committed, max_drop=0.2, relative=True)
@@ -496,6 +613,18 @@ def main(argv: Optional[list[str]] = None) -> int:
         "aggressive compaction) reporting bytes_reclaimed and checkpoint pause",
     )
     parser.add_argument(
+        "--service",
+        action="store_true",
+        help="also run the multi-tenant service row: --service-jobs concurrent "
+        "crawl jobs through the JobManager, reporting p50/p99 job latency",
+    )
+    parser.add_argument(
+        "--service-jobs",
+        type=int,
+        default=8,
+        help="concurrent tenants for the --service row (default 8)",
+    )
+    parser.add_argument(
         "--wal-fsync-batch",
         type=int,
         default=0,
@@ -542,6 +671,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         transport=args.transport,
         latency_ms=args.latency_ms,
         max_inflight=args.max_inflight,
+        service=args.service,
+        service_jobs=args.service_jobs,
     )
     write_payload(payload, args.output)
     for row in payload["results"]:
@@ -564,6 +695,13 @@ def main(argv: Optional[list[str]] = None) -> int:
             label += f"[{row['transport']}/{row['fetch_mode']}]"
         if row["fetch_overlap"]:
             extra += f"  overlap={row['fetch_overlap']:.0%}"
+        if "jobs" in row:
+            extra += (
+                f"  jobs={row['jobs']}x{row['pages_per_job']}p "
+                f"({row['jobs_per_sec']}/s) "
+                f"latency p50={row['job_latency_p50_s']}s "
+                f"p99={row['job_latency_p99_s']}s"
+            )
         print(
             f"{label}: {row['pages']} pages in {row['seconds']}s "
             f"({row['pages_per_sec']} pages/sec)  {stages}{extra}"

@@ -15,7 +15,7 @@ co-topic analysis recovers it.
 
 from __future__ import annotations
 
-from repro.experiments.workloads import build_crawl_workload
+from repro import build_crawl_workload
 
 
 def main() -> None:

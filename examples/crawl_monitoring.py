@@ -18,7 +18,10 @@ operational questions directly.
 
 from __future__ import annotations
 
-from repro.experiments.workloads import INVESTMENT, MUTUAL_FUNDS, build_crawl_workload
+from repro import build_crawl_workload
+
+MUTUAL_FUNDS = "business/investment/mutual_funds"
+INVESTMENT = "business/investment"
 
 
 def main() -> None:

@@ -13,9 +13,7 @@ and how far from the seeds the best resources were found.
 
 from __future__ import annotations
 
-from repro import FocusConfig, FocusSystem
-from repro.crawler.focused import CrawlerConfig
-from repro.webgraph.graph import WebConfig
+from repro import CrawlerConfig, FocusConfig, FocusSystem, WebConfig
 
 
 def main() -> None:

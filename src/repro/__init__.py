@@ -11,7 +11,12 @@ The package is organised bottom-up:
 * :mod:`repro.distiller` — relevance-weighted HITS, in-memory and join-based.
 * :mod:`repro.crawler` — focused and unfocused crawlers, frontier policies, monitoring.
 * :mod:`repro.core` — the FocusSystem facade, schemata, metrics, configuration.
+* :mod:`repro.service` — the multi-tenant crawl service (job manager + HTTP API).
 * :mod:`repro.experiments` — regeneration of every figure in the paper's evaluation.
+
+This top-level module is the supported public surface: everything an
+application (or the bundled ``examples/``) needs imports from ``repro``
+directly.
 
 Quickstart::
 
@@ -21,11 +26,51 @@ Quickstart::
     system.train()
     result = system.crawl(max_pages=500)
     print(result.harvest_rate())
+
+Crawl as a service::
+
+    from repro import CrawlService, JobManager, JobSpec
+
+    with CrawlService(JobManager(system)) as service:
+        ...  # POST JobSpec.to_dict() to http://127.0.0.1:{service.port}/jobs
 """
 
-from .core.config import FocusConfig
-from .core.system import CrawlResult, FocusSystem
+from .core.checkpoint import CheckpointManager, CrawlCheckpoint
+from .core.config import FocusConfig, JobSpec
+from .core.schema import create_focus_database
+from .core.system import CrawlHandle, CrawlResult, FocusSystem
+from .crawler.engine import CrawlTrace
+from .crawler.focused import CrawlerConfig
+from .crawler.monitor import CrawlMonitor
+from .crawler.policies import CrawlOrdering, FetchPolicy
+from .experiments.workloads import build_crawl_workload
+from .minidb import Database, StorageConfig
+from .service import CrawlService, JobManager, SharedFetchPool, serve
+from .webgraph.graph import WebConfig
 
 __version__ = "0.1.0"
 
-__all__ = ["CrawlResult", "FocusConfig", "FocusSystem", "__version__"]
+__all__ = [
+    "CheckpointManager",
+    "CrawlCheckpoint",
+    "CrawlHandle",
+    "CrawlMonitor",
+    "CrawlOrdering",
+    "CrawlResult",
+    "CrawlService",
+    "CrawlTrace",
+    "CrawlerConfig",
+    "Database",
+    "FetchPolicy",
+    "FocusConfig",
+    "FocusSystem",
+    "JobManager",
+    "JobSpec",
+    "SharedFetchPool",
+    "StorageConfig",
+    "WebConfig",
+    "build_crawl_workload",
+    "create_focus_database",
+    "serve",
+    "__version__",
+]

@@ -124,14 +124,21 @@ class CheckpointManager:
         )
 
     @staticmethod
-    def load(path: str, buffer_pool_pages: int = 256) -> tuple[Database, CrawlCheckpoint]:
+    def load(
+        path: str, buffer_pool_pages: int = 256, storage=None
+    ) -> tuple[Database, CrawlCheckpoint]:
         """Recover the database pinned to its last checkpoint, plus the crawl state.
 
         Post-checkpoint WAL records are discarded (not replayed): the
         resumed engine re-executes that work deterministically, and
         replaying it would leave the tables ahead of the engine state.
+        *storage* (a :class:`~repro.minidb.StorageConfig`) overrides the
+        reopen's durability knobs; the checkpointed crawl config's own
+        storage policy is re-applied by the resume path either way.
         """
-        database = Database.open(path, buffer_pool_pages=buffer_pool_pages, replay_wal=False)
+        database = Database.open(
+            path, buffer_pool_pages=buffer_pool_pages, replay_wal=False, storage=storage
+        )
         state = database.app_state()
         if not isinstance(state, CrawlCheckpoint):
             database.close()

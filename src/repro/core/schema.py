@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.minidb import Database, FLOAT, INTEGER, TEXT, make_schema
+from repro.minidb import Database, FLOAT, INTEGER, StorageConfig, TEXT, make_schema
 
 #: Allowed values of CRAWL.status.
 CRAWL_STATUSES = ("frontier", "visited", "failed", "dead")
@@ -80,9 +80,10 @@ def create_crawl_tables(database: Database) -> None:
 def create_focus_database(
     buffer_pool_pages: int = 2048,
     path: Optional[str] = None,
-    wal_fsync_batch: int = 0,
-    compact_every: int = 1,
-    compact_min_garbage_ratio: float = 0.5,
+    storage: Optional[StorageConfig] = None,
+    wal_fsync_batch: Optional[int] = None,
+    compact_every: Optional[int] = None,
+    compact_min_garbage_ratio: Optional[float] = None,
     ops=None,
 ) -> Database:
     """A database with the crawl tables created.
@@ -90,22 +91,25 @@ def create_focus_database(
     With *path* the database is durable (segment file + WAL at that
     directory) and an existing directory is recovered, so crawls survive
     restarts; without it the store is in-memory, as in the seed.
-    ``wal_fsync_batch`` (durable only) turns on WAL group commit: an
-    fsync at least once per N logged records instead of only at
-    checkpoints.  ``compact_every`` / ``compact_min_garbage_ratio``
-    (durable only) tune checkpoint-time segment compaction, and ``ops``
-    substitutes the file-operation layer (fault-injection tests).
+
+    Durability policy comes in as one
+    :class:`~repro.minidb.StorageConfig` via ``storage=`` (its
+    ``buffer_pool_pages``, when set, wins over the positional default).
+    The per-knob keywords are deprecated pass-throughs resolved — and
+    warned about — by :meth:`Database.open`.
     """
     if path is not None:
         database = Database.open(
             path,
             buffer_pool_pages=buffer_pool_pages,
+            storage=storage,
             wal_fsync_batch=wal_fsync_batch,
             compact_every=compact_every,
             compact_min_garbage_ratio=compact_min_garbage_ratio,
             ops=ops,
         )
     else:
-        database = Database(buffer_pool_pages=buffer_pool_pages)
+        pages = (storage or StorageConfig()).pool_pages(buffer_pool_pages)
+        database = Database(buffer_pool_pages=pages)
     create_crawl_tables(database)
     return database

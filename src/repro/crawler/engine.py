@@ -57,7 +57,7 @@ from repro.distiller.compiled import compile_links, compiled_weighted_hits
 from repro.distiller.db_distiller import IncrementalDistiller
 from repro.distiller.hits import DistillationResult, weighted_hits
 from repro.distiller.weights import Link
-from repro.minidb import Database
+from repro.minidb import Database, StorageConfig
 from repro.minidb.pages import RecordId
 from repro.minidb.table import Table
 from repro.taxonomy.tree import TopicTaxonomy
@@ -168,16 +168,40 @@ class CrawlerConfig:
     #: Group-commit batch for the write-ahead log of a durable crawl
     #: database: 0 keeps the seed behaviour (OS flush per record, fsync
     #: only at checkpoints); N >= 1 fsyncs once per N appended records.
+    #: Legacy knob — superseded by ``storage`` (see :meth:`resolve_storage`).
     wal_fsync_batch: int = 0
     #: Segment-file compaction cadence of a durable crawl database:
     #: consider compacting at every Nth checkpoint (0 disables).  Long
     #: crawls rewrite CRAWL rows and the HUBS/AUTH tables constantly, so
     #: without compaction the segment file grows without bound.
+    #: Legacy knob — superseded by ``storage``.
     compact_every: int = 1
     #: Compact only when at least this fraction of the segment file's
     #: payload bytes is dead (superseded images); bounds the file at
     #: roughly live/(1 - ratio) bytes between compactions.
+    #: Legacy knob — superseded by ``storage``.
     compact_min_garbage_ratio: float = 0.5
+    #: Storage policy of the crawl database as one object (WAL group
+    #: commit, compaction, buffer-pool size).  When set it wins over the
+    #: three legacy knobs above; when None, :meth:`resolve_storage`
+    #: folds the legacy knobs into an equivalent StorageConfig, so old
+    #: configs (including pickled checkpoints) keep working unchanged.
+    storage: Optional[StorageConfig] = None
+
+    def resolve_storage(self) -> StorageConfig:
+        """The effective storage policy: ``storage`` or the folded legacy knobs.
+
+        ``getattr`` defaults keep configs unpickled from pre-StorageConfig
+        checkpoints (which lack the newer fields entirely) resumable.
+        """
+        storage = getattr(self, "storage", None)
+        if storage is not None:
+            return storage
+        return StorageConfig(
+            wal_fsync_batch=getattr(self, "wal_fsync_batch", 0),
+            compact_every=getattr(self, "compact_every", 1),
+            compact_min_garbage_ratio=getattr(self, "compact_min_garbage_ratio", 0.5),
+        )
 
 
 @dataclass
@@ -373,16 +397,28 @@ class CrawlEngine:
         return self.fetch_overlap_s / self._round_process_s
 
     # -- public API ------------------------------------------------------------------
-    def run(self, budget: int) -> CrawlTrace:
-        """Run the crawl loop until the page budget or the frontier is exhausted."""
+    def run(self, budget: int, max_rounds: Optional[int] = None) -> CrawlTrace:
+        """Run the crawl loop until the page budget or the frontier is exhausted.
+
+        *max_rounds* caps how many rounds this call executes (one frontier
+        checkout in serial mode, one batch in batched mode) and then
+        returns with the crawl still resumable — the cooperative-
+        scheduling hook the multi-tenant :mod:`repro.service` job manager
+        interleaves jobs with.  Crucially the *budget* stays the full
+        page budget either way: batched round sizing is a function of
+        ``budget - pages_fetched``, so slicing a crawl into stepped calls
+        visits bit-for-bit the pages a single ``run(budget)`` would.
+        """
+        if max_rounds is not None and max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1 (or None for unlimited)")
         if self.config.checkpoint_interval_s and self.checkpointer is not None:
             # The wall clock is not resumable state: the interval timer
             # starts fresh on every run (initial and resumed alike).
             self._last_checkpoint_s = time.monotonic()
         try:
             if self.batched:
-                return self._run_batched(budget)
-            return self._run_serial(budget)
+                return self._run_batched(budget, max_rounds)
+            return self._run_serial(budget, max_rounds)
         finally:
             if self._pool is not None:
                 self._pool.shutdown(wait=False)
@@ -500,8 +536,12 @@ class CrawlEngine:
         self.trace.last_distillation = saved.last_distillation
 
     # -- serial mode -----------------------------------------------------------------
-    def _run_serial(self, budget: int) -> CrawlTrace:
+    def _run_serial(self, budget: int, max_rounds: Optional[int] = None) -> CrawlTrace:
+        rounds = 0
         while self.trace.pages_fetched < budget:
+            if max_rounds is not None and rounds >= max_rounds:
+                break
+            rounds += 1
             url = self.frontier.pop_next()
             if url is None:
                 self.trace.stagnated = True
@@ -581,12 +621,16 @@ class CrawlEngine:
         return expansion
 
     # -- batched mode ----------------------------------------------------------------
-    def _run_batched(self, budget: int) -> CrawlTrace:
+    def _run_batched(self, budget: int, max_rounds: Optional[int] = None) -> CrawlTrace:
         config = self.config
         # Create the delta cache up front so every flushed round feeds it.
         self._incremental_distiller()
         stop = False
+        rounds = 0
         while not stop and self.trace.pages_fetched < budget:
+            if max_rounds is not None and rounds >= max_rounds:
+                break
+            rounds += 1
             round_size = min(config.batch_size, budget - self.trace.pages_fetched)
             urls = self.frontier.pop_batch(round_size)
             if not urls:

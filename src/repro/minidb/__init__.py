@@ -25,6 +25,7 @@ from .backend import DurableBackend, MemoryBackend, StorageBackend
 from .buffer_pool import BufferPool, IOStats
 from .compactor import Compactor
 from .database import Database
+from .storage_config import StorageConfig
 from .wal import FileOps, WriteAheadLog
 from .errors import (
     BufferPoolError,
@@ -86,6 +87,7 @@ __all__ = [
     "SchemaError",
     "SQLSyntaxError",
     "StorageBackend",
+    "StorageConfig",
     "StorageError",
     "TEXT",
     "Table",

@@ -24,6 +24,7 @@ persisted; re-register them after reopening.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Iterable, Mapping, Optional, Sequence
 
 from .backend import DurableBackend, MemoryBackend, StorageBackend
@@ -31,9 +32,34 @@ from .buffer_pool import BufferPool, IOStats
 from .errors import CatalogError, StorageError
 from .pages import DEFAULT_PAGE_SIZE, PageId, RecordId
 from .query import Query
+from .storage_config import StorageConfig
 from .table import Table
 from .triggers import Trigger, TriggerAction, TriggerRegistry
 from .types import Schema, schema_from_spec, schema_to_spec
+
+
+def _resolve_storage(storage: Optional[StorageConfig], legacy: dict[str, Any]) -> StorageConfig:
+    """Fold the deprecated per-knob ``Database.open`` keywords into a config.
+
+    Passing any legacy knob alongside an explicit ``storage`` is an
+    error rather than a merge: silently preferring one source would make
+    the other a no-op and mask a caller bug.
+    """
+    given = {name: value for name, value in legacy.items() if value is not None}
+    if not given:
+        return storage if storage is not None else StorageConfig()
+    if storage is not None:
+        raise ValueError(
+            f"pass storage knobs either via StorageConfig or via legacy keywords, "
+            f"not both (got storage= plus {sorted(given)})"
+        )
+    warnings.warn(
+        f"Database.open({', '.join(sorted(given))}=...) is deprecated; "
+        "pass storage=StorageConfig(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return StorageConfig(**given)
 
 
 class Database:
@@ -47,6 +73,7 @@ class Database:
         replay_wal: bool = True,
     ) -> None:
         self.stats = IOStats()
+        self._closed = False
         self.backend = backend if backend is not None else MemoryBackend()
         self.buffer_pool = BufferPool(buffer_pool_pages, self.stats, self.backend)
         self.page_size = page_size
@@ -64,10 +91,11 @@ class Database:
         buffer_pool_pages: int = 256,
         page_size: int = DEFAULT_PAGE_SIZE,
         replay_wal: bool = True,
-        wal_fsync_batch: int = 0,
+        storage: Optional[StorageConfig] = None,
+        wal_fsync_batch: Optional[int] = None,
         ops=None,
-        compact_every: int = 1,
-        compact_min_garbage_ratio: float = 0.5,
+        compact_every: Optional[int] = None,
+        compact_min_garbage_ratio: Optional[float] = None,
     ) -> "Database":
         """Open (or create) a durable database at directory *path*.
 
@@ -78,26 +106,32 @@ class Database:
         coordinators (e.g. the crawl checkpoint manager) that must keep
         the database consistent with externally saved state.
 
-        ``wal_fsync_batch`` configures WAL group commit: ``0`` (default)
-        fsyncs only at checkpoints, ``N >= 1`` fsyncs at least once per N
-        logged records (see :class:`~repro.minidb.wal.WriteAheadLog`).
-
-        ``compact_every`` / ``compact_min_garbage_ratio`` tune the
-        checkpoint-time segment-file compactor (see
-        :class:`~repro.minidb.compactor.Compactor`); ``compact_every=0``
-        disables compaction entirely.  ``ops`` substitutes the file-
-        operation layer (:class:`~repro.minidb.wal.FileOps`) — the seam
-        the fault-injection tests crash at arbitrary I/O points.
+        Durability policy — WAL group commit, segment compaction, the
+        fault-injection :class:`~repro.minidb.wal.FileOps` seam, and
+        optionally the buffer-pool size — comes in as one
+        :class:`StorageConfig` via ``storage=``.  The per-knob keywords
+        (``wal_fsync_batch``, ``ops``, ``compact_every``,
+        ``compact_min_garbage_ratio``) are deprecated pass-throughs with
+        unchanged semantics; passing both forms raises.
         """
+        config = _resolve_storage(
+            storage,
+            {
+                "wal_fsync_batch": wal_fsync_batch,
+                "ops": ops,
+                "compact_every": compact_every,
+                "compact_min_garbage_ratio": compact_min_garbage_ratio,
+            },
+        )
         return cls(
-            buffer_pool_pages=buffer_pool_pages,
+            buffer_pool_pages=config.pool_pages(buffer_pool_pages),
             page_size=page_size,
             backend=DurableBackend(
                 path,
-                wal_fsync_batch=wal_fsync_batch,
-                ops=ops,
-                compact_every=compact_every,
-                compact_min_garbage_ratio=compact_min_garbage_ratio,
+                wal_fsync_batch=config.wal_fsync_batch,
+                ops=config.ops,
+                compact_every=config.compact_every,
+                compact_min_garbage_ratio=config.compact_min_garbage_ratio,
             ),
             replay_wal=replay_wal,
         )
@@ -201,9 +235,15 @@ class Database:
         meta = getattr(self.backend, "snapshot_meta", None)
         return meta.get("app_state") if meta else None
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run; consumers can then reopen by path."""
+        return self._closed
+
     def close(self) -> None:
         """Release backend file handles (a no-op for in-memory databases)."""
         self.backend.close()
+        self._closed = True
 
     def __enter__(self) -> "Database":
         return self

@@ -1,0 +1,204 @@
+"""Crawl-as-a-service HTTP API: a thin JSON facade over :class:`JobManager`.
+
+Stdlib only (``http.server``), matching the repo's no-new-dependency
+rule.  The server is a :class:`~http.server.ThreadingHTTPServer`, so
+request handling never blocks the manager's worker thread; every
+endpoint is a locked, constant-ish-time read or state transition on the
+manager — the crawl work itself always happens on the manager's sweep
+thread.
+
+Routes (all JSON)::
+
+    GET  /health                      liveness + job counts + pool counters
+    GET  /jobs                        all jobs, submission order
+    POST /jobs                        submit a JobSpec (JSON body) -> {"id": ...}
+    GET  /jobs/{id}                   live progress for one job
+    POST /jobs/{id}/pause             checkpoint (if durable) and pause
+    POST /jobs/{id}/resume            resume a paused job
+    POST /jobs/{id}/cancel            cancel; terminal state "cancelled"
+    GET  /jobs/{id}/harvest?window=N  harvest curve [[tick, rate], ...]
+    GET  /jobs/{id}/stats             io_snapshot + stage timings + pool stats
+    GET  /jobs/{id}/result            terminal summary incl. fetched_urls
+                                      and relevance floats (determinism
+                                      is checkable over the wire)
+
+Errors: unknown job -> 404, bad spec/illegal transition -> 400, both as
+``{"error": ...}`` bodies.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.core.config import JobSpec
+
+from .jobs import JobManager
+
+
+class _CrawlRequestHandler(BaseHTTPRequestHandler):
+    """Dispatches requests to the owning :class:`CrawlService`'s manager."""
+
+    # Set by CrawlService when it builds the server class.
+    manager: JobManager = None  # type: ignore[assignment]
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -----------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep test/bench output clean
+
+    def _send_json(self, payload, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self):
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if not length:
+            return {}
+        return json.loads(self.rfile.read(length).decode("utf-8"))
+
+    def _route(self) -> Tuple[list, dict]:
+        parsed = urlparse(self.path)
+        parts = [part for part in parsed.path.split("/") if part]
+        query = {key: values[-1] for key, values in parse_qs(parsed.query).items()}
+        return parts, query
+
+    def _dispatch(self, handler) -> None:
+        try:
+            self._send_json(handler())
+        except KeyError as exc:
+            self._send_json({"error": str(exc.args[0] if exc.args else exc)}, 404)
+        except (ValueError, RuntimeError) as exc:
+            self._send_json({"error": str(exc)}, 400)
+
+    # -- verbs --------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802
+        parts, query = self._route()
+        manager = self.manager
+        if parts == ["health"]:
+            jobs = manager.jobs()
+            self._send_json(
+                {
+                    "status": "ok",
+                    "jobs": len(jobs),
+                    "active": sum(
+                        1 for job in jobs if job["status"] in ("pending", "running")
+                    ),
+                    "pool": manager.pool.snapshot(),
+                }
+            )
+        elif parts == ["jobs"]:
+            self._send_json(manager.jobs())
+        elif len(parts) == 2 and parts[0] == "jobs":
+            self._dispatch(lambda: manager.progress(parts[1]))
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "harvest":
+            window = int(query.get("window", 100))
+            self._dispatch(
+                lambda: [list(point) for point in manager.harvest(parts[1], window)]
+            )
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "stats":
+            self._dispatch(lambda: manager.stats(parts[1]))
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+            self._dispatch(lambda: manager.result_summary(parts[1]))
+        else:
+            self._send_json({"error": f"no such endpoint {self.path!r}"}, 404)
+
+    def do_POST(self) -> None:  # noqa: N802
+        parts, _ = self._route()
+        manager = self.manager
+        if parts == ["jobs"]:
+
+            def submit():
+                spec = JobSpec.from_dict(self._read_json())
+                return {"id": manager.submit(spec)}
+
+            self._dispatch(submit)
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] in (
+            "pause",
+            "resume",
+            "cancel",
+        ):
+            job_id, action = parts[1], parts[2]
+
+            def transition():
+                getattr(manager, action)(job_id)
+                return {"id": job_id, "status": manager.progress(job_id)["status"]}
+
+            self._dispatch(transition)
+        else:
+            self._send_json({"error": f"no such endpoint {self.path!r}"}, 404)
+
+
+class CrawlService:
+    """The crawl service: a JobManager behind a threaded HTTP server.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`port`),
+    which is what the tests use.  Use as a context manager::
+
+        with CrawlService(JobManager(system)) as service:
+            ...  # POST specs to http://127.0.0.1:{service.port}/jobs
+    """
+
+    def __init__(
+        self, manager: JobManager, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.manager = manager
+        handler = type(
+            "BoundCrawlRequestHandler", (_CrawlRequestHandler,), {"manager": manager}
+        )
+        self.server = ThreadingHTTPServer((host, port), handler)
+        self.host = host
+        self.port = self.server.server_address[1]
+        self._serving: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        """Start serving requests and sweeping jobs (both on daemon threads)."""
+        if self._serving is not None:
+            return
+        self.manager.start()
+        self._serving = threading.Thread(
+            target=self.server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="crawl-http",
+            daemon=True,
+        )
+        self._serving.start()
+
+    def stop(self) -> None:
+        """Stop the HTTP server, the job sweeper, and close job databases."""
+        if self._serving is not None:
+            self.server.shutdown()
+            self._serving.join()
+            self._serving = None
+        self.server.server_close()
+        self.manager.close()
+
+    def __enter__(self) -> "CrawlService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve(
+    manager: JobManager, host: str = "127.0.0.1", port: int = 8765
+) -> CrawlService:
+    """Start a :class:`CrawlService` and return it (caller owns ``stop()``)."""
+    service = CrawlService(manager, host=host, port=port)
+    service.start()
+    return service
+
+
+__all__ = ["CrawlService", "serve"]

@@ -1,0 +1,318 @@
+"""JobManager: fair multiplexing of K crawl jobs over one fetch pipeline.
+
+This is the crawl-as-a-service core.  Each submitted
+:class:`~repro.core.config.JobSpec` becomes a
+:class:`~repro.core.system.CrawlHandle` armed with
+
+* its own minidb database (durable iff the spec names a checkpoint
+  directory), checkpoint state, and monitor;
+* a private clone of the web's server pool, so concurrent jobs never
+  interleave draws on the shared failure/latency stream — every job's
+  crawl is bit-identical to the same job run solo;
+* a :class:`~repro.service.pool.PooledTransport` spliced around its
+  transport stack, so all jobs share one global in-flight/politeness
+  budget (:class:`~repro.crawler.policies.FetchPolicy`).
+
+Scheduling is cooperative round-robin: each sweep of :meth:`step_once`
+gives every runnable job one quantum of ``rounds_per_step`` engine
+rounds (``CrawlEngine.run(budget, max_rounds=...)``), which keeps the
+schedule fair by construction and — because round sizing always sees the
+job's full page budget — bit-deterministic.  A background worker thread
+(:meth:`start`) drives sweeps for the HTTP service; tests and benchmarks
+call :meth:`run_until_idle` inline.
+
+Jobs may name different good-topic sets: the manager keeps one trained
+:class:`~repro.core.system.FocusSystem` per topic set over the shared
+web, built lazily on first use.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import JobSpec
+from repro.core.system import CrawlHandle, CrawlResult, FocusSystem, TERMINAL_STATUSES
+from repro.crawler.policies import FetchPolicy
+
+from .pool import SharedFetchPool
+
+
+@dataclass
+class JobRecord:
+    """One submitted job: its spec, live handle, and lifecycle timestamps."""
+
+    id: str
+    spec: JobSpec
+    handle: CrawlHandle
+    submitted_s: float
+    finished_s: Optional[float] = None
+    #: JSON-safe result summary, cached at the terminal transition so the
+    #: HTTP layer never touches crawl internals after the job ends.
+    summary: Optional[dict] = None
+    error: Optional[str] = None
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """Submit-to-terminal wall-clock seconds (the bench's p50/p99 metric)."""
+        if self.finished_s is None:
+            return None
+        return self.finished_s - self.submitted_s
+
+
+class JobManager:
+    """Multi-tenant crawl scheduler over one system/web and one fetch pool.
+
+    All public methods are thread-safe: the HTTP layer calls them from
+    request threads while the worker thread sweeps jobs.  One lock
+    serializes scheduling and state transitions; observability reads
+    (progress, harvest curves, I/O counters) take the same lock, so they
+    see round-boundary-consistent state.
+    """
+
+    def __init__(
+        self,
+        system: FocusSystem,
+        policy: Optional[FetchPolicy] = None,
+        rounds_per_step: int = 1,
+    ) -> None:
+        if rounds_per_step < 1:
+            raise ValueError("rounds_per_step must be >= 1")
+        self.system = system
+        self.pool = SharedFetchPool(policy)
+        self.rounds_per_step = rounds_per_step
+        self._jobs: Dict[str, JobRecord] = {}
+        self._systems: Dict[Tuple[str, ...], FocusSystem] = {
+            tuple(system.config.good_topics): system
+        }
+        self._lock = threading.RLock()
+        self._next_id = 1
+        self._worker: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # -- submission ---------------------------------------------------------
+    def submit(self, spec: JobSpec) -> str:
+        """Arm *spec* as a job and return its id (crawling starts on scheduling)."""
+        with self._lock:
+            system = self._system_for(spec.good_topics)
+            handle = system.start(
+                spec, private_servers=True, transport_wrap=self.pool.wrap
+            )
+            job_id = f"job-{self._next_id:04d}"
+            self._next_id += 1
+            self._jobs[job_id] = JobRecord(
+                id=job_id, spec=spec, handle=handle, submitted_s=time.perf_counter()
+            )
+            return job_id
+
+    def _system_for(self, good_topics: Optional[Tuple[str, ...]]) -> FocusSystem:
+        """The trained system for a topic set, built lazily over the shared web."""
+        key = tuple(good_topics) if good_topics is not None else tuple(
+            self.system.config.good_topics
+        )
+        system = self._systems.get(key)
+        if system is None:
+            system = FocusSystem.from_web(
+                self.system.web, good_topics=list(key), config=self.system.config
+            )
+            system.train()
+            self._systems[key] = system
+        return system
+
+    # -- scheduling ---------------------------------------------------------
+    def step_once(self) -> bool:
+        """One fair sweep: every runnable job gets one quantum.  True if any ran."""
+        with self._lock:
+            ran = False
+            for record in list(self._jobs.values()):
+                handle = record.handle
+                if handle.status not in ("pending", "running"):
+                    continue
+                ran = True
+                try:
+                    handle.step(self.rounds_per_step)
+                except Exception as exc:  # handle.status is already "failed"
+                    record.error = f"{type(exc).__name__}: {exc}"
+                if handle.done:
+                    self._finalize(record)
+            return ran
+
+    def run_until_idle(self) -> None:
+        """Drive sweeps inline until no job is runnable (tests, benchmarks)."""
+        while self.step_once():
+            pass
+
+    def start(self) -> None:
+        """Launch the background worker thread that sweeps runnable jobs."""
+        with self._lock:
+            if self._worker is not None:
+                return
+            self._stop.clear()
+            self._worker = threading.Thread(
+                target=self._run_worker, name="crawl-jobs", daemon=True
+            )
+            self._worker.start()
+
+    def stop(self) -> None:
+        """Stop the worker thread (jobs keep their state; resumable later)."""
+        worker = self._worker
+        if worker is None:
+            return
+        self._stop.set()
+        worker.join()
+        self._worker = None
+
+    def _run_worker(self) -> None:
+        while not self._stop.is_set():
+            if not self.step_once():
+                # Idle: nothing runnable.  Wait briefly for a submit/resume.
+                self._stop.wait(0.005)
+
+    # -- job control --------------------------------------------------------
+    def pause(self, job_id: str) -> None:
+        with self._lock:
+            self._record(job_id).handle.pause()
+
+    def resume(self, job_id: str) -> None:
+        with self._lock:
+            self._record(job_id).handle.resume()
+
+    def cancel(self, job_id: str) -> None:
+        with self._lock:
+            record = self._record(job_id)
+            if not record.handle.done:
+                record.handle.cancel()
+                self._finalize(record)
+
+    # -- observability ------------------------------------------------------
+    def jobs(self) -> List[dict]:
+        """One summary row per job, in submission order."""
+        with self._lock:
+            return [
+                {
+                    "id": record.id,
+                    "name": record.spec.name,
+                    "status": record.handle.status,
+                    "pages_fetched": record.handle.pages_fetched,
+                    "budget": record.handle.budget,
+                    "latency_s": record.latency_s,
+                }
+                for record in self._jobs.values()
+            ]
+
+    def progress(self, job_id: str) -> dict:
+        with self._lock:
+            record = self._record(job_id)
+            info = record.handle.progress()
+            info["id"] = record.id
+            info["latency_s"] = record.latency_s
+            if record.error is not None:
+                info["error"] = record.error
+            return info
+
+    def harvest(self, job_id: str, window: int = 100) -> List[Tuple[int, float]]:
+        """The job's live harvest curve (tick, moving-average relevance)."""
+        with self._lock:
+            return self._record(job_id).handle.harvest_series(window)
+
+    def stats(self, job_id: str) -> dict:
+        """The job's I/O counters plus the shared pool's counters."""
+        with self._lock:
+            handle = self._record(job_id).handle
+            return {
+                "io": handle.io_snapshot(),
+                "stage_timings": dict(handle.crawler.engine.stage_timings),
+                "pool": self.pool.snapshot(),
+            }
+
+    def result_summary(self, job_id: str) -> dict:
+        """The cached JSON-safe result of a terminal job."""
+        with self._lock:
+            record = self._record(job_id)
+            if record.summary is None:
+                raise ValueError(
+                    f"job {job_id} is {record.handle.status}; result is available "
+                    "once it reaches a terminal state"
+                )
+            return record.summary
+
+    def result(self, job_id: str) -> CrawlResult:
+        """The in-process :class:`CrawlResult` of a terminal job."""
+        with self._lock:
+            return self._record(job_id).handle.result()
+
+    def latencies(self) -> List[float]:
+        """Submit-to-terminal latencies of finished jobs (bench metric)."""
+        with self._lock:
+            return [
+                record.latency_s
+                for record in self._jobs.values()
+                if record.latency_s is not None
+            ]
+
+    # -- shutdown -----------------------------------------------------------
+    def close(self) -> None:
+        """Stop the worker and release every job's database handle.
+
+        Durable jobs stay fully recoverable (their results reopen by
+        checkpoint path; unfinished ones resume via
+        :meth:`FocusSystem.resume`).
+        """
+        self.stop()
+        with self._lock:
+            for record in self._jobs.values():
+                record.handle.close()
+
+    # -- internals ----------------------------------------------------------
+    def _record(self, job_id: str) -> JobRecord:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise KeyError(f"unknown job {job_id!r}") from None
+
+    def _finalize(self, record: JobRecord) -> None:
+        if record.finished_s is not None:
+            return
+        record.finished_s = time.perf_counter()
+        handle = record.handle
+        trace = handle.trace
+        progress = handle.progress()
+        record.summary = {
+            "id": record.id,
+            "name": record.spec.name,
+            "status": handle.status,
+            "pages_fetched": trace.pages_fetched,
+            "budget": handle.budget,
+            "harvest_rate": progress["harvest_rate"],
+            "distillations": trace.distillations,
+            "failures": len(trace.failed_urls),
+            "fetch_attempts": handle.fetch_attempts(),
+            "stagnated": trace.stagnated,
+            "latency_s": record.latency_s,
+            "checkpoint_dir": record.spec.checkpoint_dir,
+            # The full visit record, so clients can verify determinism
+            # (pages visited + relevance floats) over the wire.
+            "fetched_urls": list(trace.fetched_urls),
+            "relevance": [visit.relevance for visit in trace.visits],
+        }
+
+
+def build_manager(
+    system: FocusSystem,
+    max_inflight: int = 8,
+    per_server_inflight: int = 0,
+    rounds_per_step: int = 1,
+) -> JobManager:
+    """Convenience constructor mirroring the service's CLI-ish defaults."""
+    return JobManager(
+        system,
+        policy=FetchPolicy(
+            max_inflight=max_inflight, per_server_inflight=per_server_inflight
+        ),
+        rounds_per_step=rounds_per_step,
+    )
+
+
+__all__ = ["JobManager", "JobRecord", "build_manager", "TERMINAL_STATUSES"]

@@ -167,6 +167,21 @@ class WebGraph:
             self._by_topic.setdefault(page.topic_path, []).append(url)
         self._in_links: Optional[Dict[str, list[str]]] = None
 
+    def with_private_servers(self) -> "WebGraph":
+        """A read-sharing view of this web with its own :class:`ServerPool` RNG.
+
+        Pages, topic tree, and vocabulary are shared (crawls only read
+        them); the server pool is cloned so this view's failure/latency
+        stream is private.  The multi-tenant job manager gives each
+        concurrent crawl such a view, keeping every job's draw sequence
+        bit-identical to the same job run solo over the shared web.
+        """
+        import copy
+
+        view = copy.copy(self)
+        view.servers = self.servers.clone()
+        return view
+
     # -- lookups ------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.pages)

@@ -67,6 +67,18 @@ class ServerPool:
     def __len__(self) -> int:
         return len(self.profiles)
 
+    def clone(self) -> "ServerPool":
+        """A pool over the *same* server profiles with its own RNG stream.
+
+        Concurrent crawls over one web cannot share this pool: the
+        failure/latency generator is one sequential stream, so
+        interleaved jobs would steal each other's draws.  Each job
+        instead clones the pool (profiles shared — they are read-only
+        during a crawl) and reseeds its private generator, which makes
+        its draw sequence identical to the same job run solo.
+        """
+        return ServerPool(profiles=self.profiles, rng=np.random.default_rng(0))
+
     def reseed(self, seed: int) -> None:
         """Reset the failure/latency stream to a deterministic state.
 

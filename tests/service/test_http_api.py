@@ -1,0 +1,171 @@
+"""The crawl service's HTTP API, driven entirely over the wire."""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.config import FocusConfig, JobSpec
+from repro.core.system import FocusSystem
+from repro.crawler.focused import CrawlerConfig
+from repro.service import CrawlService, JobManager
+
+GOOD = "recreation/cycling"
+TERMINAL = ("completed", "exhausted", "cancelled", "failed")
+
+
+@pytest.fixture(scope="module")
+def system(small_web):
+    config = FocusConfig(
+        good_topics=(GOOD,),
+        examples_per_leaf=12,
+        seed_count=10,
+        crawler=CrawlerConfig(max_pages=120, distill_every=60),
+    )
+    focus = FocusSystem.from_web(small_web, [GOOD], config)
+    focus.train()
+    return focus
+
+
+@pytest.fixture(scope="module")
+def solo(system):
+    result = system.crawl(max_pages=60, fetch_failure_seed=3)
+    return (
+        list(result.trace.fetched_urls),
+        [visit.relevance for visit in result.trace.visits],
+    )
+
+
+@pytest.fixture()
+def service(system):
+    with CrawlService(JobManager(system, rounds_per_step=1)) as running:
+        yield running
+
+
+def call(url, payload=None, method=None):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode() if payload is not None else None,
+        method=method or ("POST" if payload is not None else "GET"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.load(response)
+
+
+def wait_for_status(base, job_id, statuses, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while True:
+        progress = call(f"{base}/jobs/{job_id}")
+        if progress["status"] in statuses:
+            return progress
+        assert time.monotonic() < deadline, f"timed out waiting for {statuses}"
+        time.sleep(0.01)
+
+
+class TestEndpoints:
+    def test_submit_poll_result_round_trip(self, service, solo):
+        base = service.url
+        spec = JobSpec(max_pages=60, fetch_failure_seed=3, name="wire-job")
+        job_id = call(f"{base}/jobs", spec.to_dict())["id"]
+
+        progress = wait_for_status(base, job_id, TERMINAL)
+        assert progress["status"] == "completed"
+        assert progress["pages_fetched"] == 60
+
+        result = call(f"{base}/jobs/{job_id}/result")
+        urls, relevance = solo
+        assert result["fetched_urls"] == urls
+        assert result["relevance"] == relevance
+        assert result["latency_s"] > 0
+
+        harvest = call(f"{base}/jobs/{job_id}/harvest?window=20")
+        assert len(harvest) == 60
+        assert all(len(point) == 2 for point in harvest)
+
+        stats = call(f"{base}/jobs/{job_id}/stats")
+        assert set(stats) == {"io", "stage_timings", "pool"}
+
+        listing = call(f"{base}/jobs")
+        assert [job["id"] for job in listing] == [job_id]
+        health = call(f"{base}/health")
+        assert health["status"] == "ok"
+        assert health["jobs"] == 1
+
+    def test_pause_resume_over_http_is_bit_identical(self, service, solo):
+        base = service.url
+        job_id = call(
+            f"{base}/jobs", JobSpec(max_pages=60, fetch_failure_seed=3).to_dict()
+        )["id"]
+        # Pause as soon as the job has made some progress.
+        deadline = time.monotonic() + 30
+        while True:
+            progress = call(f"{base}/jobs/{job_id}")
+            if progress["pages_fetched"] > 0 or progress["status"] in TERMINAL:
+                break
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        if progress["status"] not in TERMINAL:
+            paused = call(f"{base}/jobs/{job_id}/pause", {})
+            assert paused["status"] == "paused"
+            snapshot = call(f"{base}/jobs/{job_id}")["pages_fetched"]
+            time.sleep(0.05)  # the worker must not advance a paused job
+            assert call(f"{base}/jobs/{job_id}")["pages_fetched"] == snapshot
+            resumed = call(f"{base}/jobs/{job_id}/resume", {})
+            assert resumed["status"] in ("pending", "running", "completed")
+        wait_for_status(base, job_id, ("completed",))
+        result = call(f"{base}/jobs/{job_id}/result")
+        urls, relevance = solo
+        assert result["fetched_urls"] == urls
+        assert result["relevance"] == relevance
+
+    def test_cancel_over_http(self, service):
+        base = service.url
+        job_id = call(
+            f"{base}/jobs", JobSpec(max_pages=120, fetch_failure_seed=7).to_dict()
+        )["id"]
+        cancelled = call(f"{base}/jobs/{job_id}/cancel", {})
+        assert cancelled["status"] == "cancelled"
+        result = call(f"{base}/jobs/{job_id}/result")
+        assert result["status"] == "cancelled"
+
+
+class TestErrors:
+    def test_unknown_job_is_404(self, service):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            call(f"{service.url}/jobs/job-9999")
+        assert excinfo.value.code == 404
+
+    def test_unknown_endpoint_is_404(self, service):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            call(f"{service.url}/nope")
+        assert excinfo.value.code == 404
+
+    def test_bad_spec_is_400(self, service):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            call(f"{service.url}/jobs", {"max_pages": 0})
+        assert excinfo.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            call(f"{service.url}/jobs", {"no_such_field": 1})
+        assert excinfo.value.code == 400
+
+    def test_result_of_a_running_job_is_400(self, service):
+        job_id = call(
+            f"{service.url}/jobs", JobSpec(max_pages=120, fetch_failure_seed=9).to_dict()
+        )["id"]
+        call(f"{service.url}/jobs/{job_id}/pause", {})  # freeze it mid-crawl
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            call(f"{service.url}/jobs/{job_id}/result")
+        assert excinfo.value.code == 400
+
+    def test_illegal_transition_is_400(self, service):
+        base = service.url
+        job_id = call(
+            f"{base}/jobs", JobSpec(max_pages=30, fetch_failure_seed=1).to_dict()
+        )["id"]
+        wait_for_status(base, job_id, TERMINAL)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            call(f"{base}/jobs/{job_id}/pause", {})
+        assert excinfo.value.code == 400

@@ -1,0 +1,146 @@
+"""JobManager: K concurrent crawl jobs, each bit-identical to a solo run."""
+
+import pytest
+
+from repro.core.config import FocusConfig, JobSpec
+from repro.core.system import FocusSystem
+from repro.crawler.focused import CrawlerConfig
+from repro.crawler.policies import FetchPolicy
+from repro.service import JobManager
+
+GOOD = "recreation/cycling"
+
+
+@pytest.fixture(scope="module")
+def system(small_web):
+    config = FocusConfig(
+        good_topics=(GOOD,),
+        examples_per_leaf=12,
+        seed_count=10,
+        crawler=CrawlerConfig(max_pages=120, distill_every=60),
+    )
+    focus = FocusSystem.from_web(small_web, [GOOD], config)
+    focus.train()
+    return focus
+
+
+@pytest.fixture(scope="module")
+def solo_runs(system):
+    """Reference solo crawls, one per failure seed used by the fleet test."""
+    runs = {}
+    for seed in range(8):
+        result = system.crawl(max_pages=60, fetch_failure_seed=seed)
+        runs[seed] = (
+            list(result.trace.fetched_urls),
+            [visit.relevance for visit in result.trace.visits],
+        )
+    return runs
+
+
+class TestConcurrentDeterminism:
+    def test_eight_concurrent_jobs_match_their_solo_runs(self, system, solo_runs):
+        manager = JobManager(
+            system, policy=FetchPolicy(max_inflight=4), rounds_per_step=1
+        )
+        ids = {
+            seed: manager.submit(
+                JobSpec(max_pages=60, fetch_failure_seed=seed, name=f"tenant-{seed}")
+            )
+            for seed in range(8)
+        }
+        manager.run_until_idle()
+        for seed, job_id in ids.items():
+            summary = manager.result_summary(job_id)
+            assert summary["status"] == "completed", seed
+            urls, relevance = solo_runs[seed]
+            assert summary["fetched_urls"] == urls, seed
+            assert summary["relevance"] == relevance, seed
+        assert manager.pool.total_fetches > 0
+
+    def test_round_robin_interleaves_all_jobs(self, system):
+        manager = JobManager(system, rounds_per_step=1)
+        ids = [
+            manager.submit(JobSpec(max_pages=60, fetch_failure_seed=seed))
+            for seed in range(3)
+        ]
+        manager.step_once()
+        progress = [manager.progress(job_id)["pages_fetched"] for job_id in ids]
+        # One sweep = one engine round each: every job advanced, none finished.
+        assert all(pages > 0 for pages in progress)
+        assert all(pages < 60 for pages in progress)
+        manager.run_until_idle()
+        assert all(job["status"] == "completed" for job in manager.jobs())
+
+
+class TestLifecycle:
+    def test_pause_resume_mid_fleet_is_bit_identical(self, system, solo_runs):
+        manager = JobManager(system, rounds_per_step=1)
+        paused_id = manager.submit(JobSpec(max_pages=60, fetch_failure_seed=2))
+        other_id = manager.submit(JobSpec(max_pages=60, fetch_failure_seed=5))
+        manager.step_once()
+        manager.pause(paused_id)
+        assert manager.progress(paused_id)["status"] == "paused"
+        manager.run_until_idle()  # the other job runs to completion alone
+        assert manager.progress(other_id)["status"] == "completed"
+        manager.resume(paused_id)
+        manager.run_until_idle()
+        summary = manager.result_summary(paused_id)
+        urls, relevance = solo_runs[2]
+        assert summary["fetched_urls"] == urls
+        assert summary["relevance"] == relevance
+
+    def test_fetch_budget_exhaustion(self, system):
+        manager = JobManager(system, rounds_per_step=1)
+        job_id = manager.submit(
+            JobSpec(max_pages=120, fetch_failure_seed=3, fetch_budget=30)
+        )
+        manager.run_until_idle()
+        summary = manager.result_summary(job_id)
+        assert summary["status"] == "exhausted"
+        assert summary["fetch_attempts"] >= 30
+        assert summary["pages_fetched"] < 120
+
+    def test_cancel(self, system):
+        manager = JobManager(system, rounds_per_step=1)
+        job_id = manager.submit(JobSpec(max_pages=120, fetch_failure_seed=3))
+        manager.step_once()
+        manager.cancel(job_id)
+        summary = manager.result_summary(job_id)
+        assert summary["status"] == "cancelled"
+        assert 0 < summary["pages_fetched"] < 120
+        assert not manager.step_once()
+
+    def test_unknown_job_raises_keyerror(self, system):
+        manager = JobManager(system)
+        with pytest.raises(KeyError, match="job-9999"):
+            manager.progress("job-9999")
+
+    def test_latencies_cover_finished_jobs(self, system):
+        manager = JobManager(system)
+        manager.submit(JobSpec(max_pages=30, fetch_failure_seed=1))
+        manager.submit(JobSpec(max_pages=30, fetch_failure_seed=2))
+        assert manager.latencies() == []
+        manager.run_until_idle()
+        latencies = manager.latencies()
+        assert len(latencies) == 2
+        assert all(latency > 0 for latency in latencies)
+
+
+class TestWorkerThread:
+    def test_background_worker_drains_jobs(self, system, solo_runs):
+        manager = JobManager(system, rounds_per_step=2)
+        manager.start()
+        try:
+            job_id = manager.submit(JobSpec(max_pages=60, fetch_failure_seed=4))
+            import time
+
+            deadline = time.monotonic() + 30
+            while manager.progress(job_id)["status"] != "completed":
+                assert time.monotonic() < deadline, "job did not finish in time"
+                time.sleep(0.01)
+        finally:
+            manager.stop()
+        urls, relevance = solo_runs[4]
+        summary = manager.result_summary(job_id)
+        assert summary["fetched_urls"] == urls
+        assert summary["relevance"] == relevance

@@ -1,0 +1,55 @@
+"""The consolidated public API surface: ``repro`` is the one import root."""
+
+import ast
+import pathlib
+
+import repro
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestPublicSurface:
+    def test_every_all_name_resolves(self):
+        missing = [name for name in repro.__all__ if not hasattr(repro, name)]
+        assert missing == []
+
+    def test_all_is_sorted_and_unique(self):
+        names = [name for name in repro.__all__ if name != "__version__"]
+        assert names == sorted(set(names))
+
+    def test_service_layer_is_exported(self):
+        for name in ("JobManager", "CrawlService", "JobSpec", "CrawlHandle", "StorageConfig"):
+            assert name in repro.__all__
+
+
+class TestExamplesImportOnlyThePublicSurface:
+    def test_examples_exist(self):
+        assert (EXAMPLES_DIR / "serve_crawls.py").is_file()
+
+    def test_no_example_reaches_into_submodules(self):
+        offenders = []
+        for path in sorted(EXAMPLES_DIR.glob("*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ImportFrom):
+                    module = node.module or ""
+                    if module == "repro" or not module.startswith("repro"):
+                        continue
+                    offenders.append(f"{path.name}: from {module} import ...")
+                elif isinstance(node, ast.Import):
+                    for alias in node.names:
+                        if alias.name.startswith("repro.") or alias.name == "repro":
+                            offenders.append(f"{path.name}: import {alias.name}")
+        assert offenders == []
+
+    def test_examples_only_use_exported_names(self):
+        exported = set(repro.__all__)
+        offenders = []
+        for path in sorted(EXAMPLES_DIR.glob("*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ImportFrom) and node.module == "repro":
+                    for alias in node.names:
+                        if alias.name not in exported:
+                            offenders.append(f"{path.name}: {alias.name}")
+        assert offenders == []
