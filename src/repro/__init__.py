@@ -35,7 +35,7 @@ Crawl as a service::
         ...  # POST JobSpec.to_dict() to http://127.0.0.1:{service.port}/jobs
 """
 
-from .core.checkpoint import CheckpointManager, CrawlCheckpoint
+from .core.checkpoint import CheckpointManager, CoordinatorManifest, CrawlCheckpoint
 from .core.config import FocusConfig, JobSpec
 from .core.schema import create_focus_database
 from .core.system import CrawlHandle, CrawlResult, FocusSystem
@@ -43,6 +43,7 @@ from .crawler.engine import CrawlTrace
 from .crawler.focused import CrawlerConfig
 from .crawler.monitor import CrawlMonitor
 from .crawler.policies import CrawlOrdering, FetchPolicy
+from .crawler.sharded import ShardedCrawler, build_sharded_crawler
 from .experiments.workloads import build_crawl_workload
 from .minidb import Database, StorageConfig
 from .service import CrawlService, JobManager, SharedFetchPool, serve
@@ -52,6 +53,7 @@ __version__ = "0.1.0"
 
 __all__ = [
     "CheckpointManager",
+    "CoordinatorManifest",
     "CrawlCheckpoint",
     "CrawlHandle",
     "CrawlMonitor",
@@ -66,10 +68,12 @@ __all__ = [
     "FocusSystem",
     "JobManager",
     "JobSpec",
+    "ShardedCrawler",
     "SharedFetchPool",
     "StorageConfig",
     "WebConfig",
     "build_crawl_workload",
+    "build_sharded_crawler",
     "create_focus_database",
     "serve",
     "__version__",

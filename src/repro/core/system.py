@@ -18,6 +18,7 @@ architecture of paper Figure 1.  Typical use::
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -36,7 +37,7 @@ from repro.webgraph.graph import SyntheticWebBuilder, WebGraph
 from repro.webgraph.urls import normalize_url
 
 from . import metrics
-from .checkpoint import CheckpointManager
+from .checkpoint import MANIFEST_FILE, CheckpointManager, read_coordinator_manifest
 from .config import FocusConfig, JobSpec
 from .schema import create_focus_database
 
@@ -114,6 +115,12 @@ class CrawlResult:
         manager): a durable crawl is reopened from ``checkpoint_path``
         transparently, so callers never juggle reopen-by-hand.
         """
+        if getattr(self.database, "sharded", False):
+            raise RuntimeError(
+                "a sharded crawl keeps one database per shard; open a "
+                "CrawlMonitor over an individual shard database "
+                "(shard-XX/ under the checkpoint directory) instead"
+            )
         if self.database.closed:
             if self.checkpoint_path is None:
                 raise RuntimeError(
@@ -308,7 +315,15 @@ class CrawlHandle:
         return metrics.harvest_series(self.trace, window)
 
     def io_snapshot(self) -> dict:
-        """The job database's I/O counters (buffer pool, WAL, segments)."""
+        """The job's I/O counters (buffer pool, WAL, segments).
+
+        Sharded crawlers aggregate across their shard databases (totals
+        plus a ``shards`` breakdown); everything else reads the one job
+        database directly.
+        """
+        crawler_snapshot = getattr(self.crawler, "io_snapshot", None)
+        if crawler_snapshot is not None:
+            return crawler_snapshot()
         return self.database.io_snapshot()
 
     def monitor(self) -> CrawlMonitor:
@@ -436,6 +451,7 @@ class FocusSystem:
         database: Optional[Database] = None,
         private_servers: bool = False,
         transport_wrap=None,
+        shard_schedule=None,
         **overrides,
     ) -> CrawlHandle:
         """Arm one crawl job and return its :class:`CrawlHandle` (not yet running).
@@ -479,6 +495,17 @@ class FocusSystem:
             config.max_pages = spec.max_pages
         if spec.storage is not None:
             config.storage = spec.storage
+        if getattr(config, "engine", "auto") == "sharded":
+            return self._start_sharded(
+                spec,
+                config,
+                database=database,
+                private_servers=private_servers,
+                transport_wrap=transport_wrap,
+                shard_schedule=shard_schedule,
+            )
+        if shard_schedule is not None:
+            raise ValueError("shard_schedule only applies to engine='sharded' crawls")
         if database is None:
             database = create_focus_database(
                 self.config.buffer_pool_pages,
@@ -539,6 +566,77 @@ class FocusSystem:
             manager=manager,
         )
 
+    def _start_sharded(
+        self,
+        spec: JobSpec,
+        config: CrawlerConfig,
+        *,
+        database: Optional[Database],
+        private_servers: bool,
+        transport_wrap,
+        shard_schedule,
+    ) -> CrawlHandle:
+        """The ``engine="sharded"`` arm of :meth:`start`.
+
+        Builds the coordinator + N shard workers
+        (:func:`repro.crawler.sharded.build_sharded_crawler`) in place of
+        a single :class:`CrawlEngine`; durable jobs get one database per
+        shard under the checkpoint directory plus the coordinator's
+        manifest, managed by a :class:`ShardedCheckpointManager`.
+        """
+        from repro.crawler.sharded import build_sharded_crawler
+
+        if database is not None:
+            raise ValueError(
+                "engine='sharded' builds one database per shard; an injected "
+                "database cannot be partitioned — drop the database argument"
+            )
+        if spec.checkpoint_dir is not None and os.path.exists(
+            os.path.join(spec.checkpoint_dir, MANIFEST_FILE)
+        ):
+            raise ValueError(
+                f"{spec.checkpoint_dir!r} already holds a sharded crawl "
+                "checkpoint; continue it with resume(...) or point "
+                "checkpoint_dir at a fresh directory"
+            )
+        web = self.web.with_private_servers() if private_servers else self.web
+        crawler = build_sharded_crawler(
+            web,
+            self.model,
+            self.taxonomy,
+            config,
+            focused=spec.focused,
+            fetch_failure_seed=spec.fetch_failure_seed,
+            checkpoint_dir=spec.checkpoint_dir,
+            buffer_pool_pages=self.config.buffer_pool_pages,
+            transport_wrap=transport_wrap,
+            schedule=shard_schedule,
+        )
+        seed_urls = [
+            normalize_url(u)
+            for u in (spec.seeds if spec.seeds is not None else self.default_seeds())
+        ]
+        crawler.add_seeds(seed_urls)
+        manager = None
+        if spec.checkpoint_dir is not None:
+            manager = crawler.checkpoint_manager(
+                spec.checkpoint_dir,
+                seeds=seed_urls,
+                good_topics=list(self.config.good_topics),
+                fetch_failure_seed=spec.fetch_failure_seed,
+                focused=spec.focused,
+            )
+            manager.attach()
+            manager.save()
+        return CrawlHandle(
+            system=self,
+            spec=spec,
+            crawler=crawler,
+            web=web,
+            seeds=seed_urls,
+            manager=manager,
+        )
+
     def resume(
         self,
         path: str,
@@ -546,6 +644,7 @@ class FocusSystem:
         *,
         private_servers: bool = False,
         transport_wrap=None,
+        shard_schedule=None,
     ) -> CrawlHandle:
         """Re-arm a checkpointed crawl at *path* as a :class:`CrawlHandle`.
 
@@ -555,6 +654,16 @@ class FocusSystem:
         ``max_pages`` may be overridden (e.g. to extend a finished
         crawl's budget); the other knobs ride inside the checkpoint.
         """
+        if os.path.exists(os.path.join(path, MANIFEST_FILE)):
+            return self._resume_sharded(
+                path,
+                max_pages,
+                private_servers=private_servers,
+                transport_wrap=transport_wrap,
+                shard_schedule=shard_schedule,
+            )
+        if shard_schedule is not None:
+            raise ValueError("shard_schedule only applies to sharded checkpoints")
         database, checkpoint = CheckpointManager.load(
             path, buffer_pool_pages=self.config.buffer_pool_pages
         )
@@ -610,6 +719,70 @@ class FocusSystem:
             crawler=crawler,
             web=web,
             seeds=list(checkpoint.seeds),
+            manager=manager,
+        )
+
+    def _resume_sharded(
+        self,
+        path: str,
+        max_pages: Optional[int] = None,
+        *,
+        private_servers: bool = False,
+        transport_wrap=None,
+        shard_schedule=None,
+    ) -> CrawlHandle:
+        """Re-arm a sharded crawl from its coordinator manifest.
+
+        Every shard database reopens rewound to the manifest's round
+        (``replay_upto_cut``), the coordinator adopts the manifest's
+        engine state, and each worker restores its frontier / transport /
+        server-RNG snapshot — so the resumed fleet continues exactly
+        where an uninterrupted run would be.
+        """
+        from repro.crawler.sharded import build_sharded_crawler
+
+        manifest = read_coordinator_manifest(path)
+        if self.model is None:
+            self.train()
+        config = manifest.config
+        if max_pages is not None:
+            config.max_pages = max_pages
+        web = self.web.with_private_servers() if private_servers else self.web
+        crawler = build_sharded_crawler(
+            web,
+            self.model,
+            self.taxonomy,
+            config,
+            focused=manifest.focused,
+            fetch_failure_seed=manifest.fetch_failure_seed,
+            checkpoint_dir=path,
+            buffer_pool_pages=self.config.buffer_pool_pages,
+            transport_wrap=transport_wrap,
+            schedule=shard_schedule,
+            manifest=manifest,
+        )
+        manager = crawler.checkpoint_manager(
+            path,
+            seeds=list(manifest.seeds),
+            good_topics=list(manifest.good_topics),
+            fetch_failure_seed=manifest.fetch_failure_seed,
+            focused=manifest.focused,
+            checkpoints_saved=manifest.checkpoints_saved,
+        )
+        manager.attach()
+        spec = JobSpec(
+            seeds=tuple(manifest.seeds),
+            max_pages=config.max_pages,
+            focused=manifest.focused,
+            fetch_failure_seed=manifest.fetch_failure_seed,
+            checkpoint_dir=path,
+        )
+        return CrawlHandle(
+            system=self,
+            spec=spec,
+            crawler=crawler,
+            web=web,
+            seeds=list(manifest.seeds),
             manager=manager,
         )
 

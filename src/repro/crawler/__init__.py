@@ -14,6 +14,7 @@ from .policies import (
     recovery_ordering,
     relevance_only,
 )
+from .sharded import ShardedCrawler, ShardedEngine, build_sharded_crawler
 from .unfocused import UnfocusedCrawler
 
 __all__ = [
@@ -27,10 +28,13 @@ __all__ = [
     "FrontierEntry",
     "ORDERINGS",
     "PageVisit",
+    "ShardedCrawler",
+    "ShardedEngine",
     "StagnationReport",
     "UnfocusedCrawler",
     "aggressive_discovery",
     "breadth_first",
+    "build_sharded_crawler",
     "crawl_maintenance",
     "ordering_by_name",
     "recovery_ordering",

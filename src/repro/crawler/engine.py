@@ -72,8 +72,11 @@ from .policies import CrawlOrdering, FetchPolicy
 #: when the crawl runs unfocused (ordering ignores it anyway).
 _UNFOCUSED_PRIORITY = 0.0
 
-#: Engine modes accepted by ``CrawlerConfig.engine``.
-ENGINE_MODES = ("auto", "serial", "batched")
+#: Engine modes accepted by ``CrawlerConfig.engine``.  "auto" resolves to
+#: "serial"/"batched" by batch size — never to "sharded", which must be
+#: requested explicitly (it changes the process model, not just the
+#: schedule).
+ENGINE_MODES = ("auto", "serial", "batched", "sharded")
 
 #: Scoring backends accepted by ``CrawlerConfig.score_backend``.
 SCORE_BACKENDS = ("python", "numpy")
@@ -102,6 +105,24 @@ def _default_score_backend() -> str:
     the in-repo default stays the seed-faithful ``"python"`` path.
     """
     return os.environ.get("REPRO_SCORE_BACKEND", "python")
+
+
+def _default_shards() -> int:
+    """The session default shard count: ``REPRO_ENGINE_SHARDS``, else 0.
+
+    0 means "unset": an explicit ``engine="sharded"`` config then runs
+    with one shard.  Mirrors ``REPRO_FETCH_MODE`` — CI can run a whole
+    suite sharded N-wide without threading a flag through entry points.
+    Setting the env var does **not** switch engines by itself; it only
+    supplies N for configs that ask for sharding.
+    """
+    raw = os.environ.get("REPRO_ENGINE_SHARDS", "").strip()
+    if not raw:
+        return 0
+    count = int(raw)
+    if count < 1:
+        raise ValueError(f"REPRO_ENGINE_SHARDS must be >= 1, got {raw!r}")
+    return count
 
 
 @dataclass
@@ -150,7 +171,18 @@ class CrawlerConfig:
     #: plain data so the choice rides along inside crawl checkpoints.
     transport_options: dict = field(default_factory=dict)
     #: Engine mode: "auto" picks "batched" when batch_size > 1, else "serial".
+    #: "sharded" partitions the crawl by host hash over N workers (see
+    #: ``shards``); drive it through :meth:`FocusSystem.start`, which
+    #: builds the sharded crawler in place of a :class:`CrawlEngine`.
     engine: str = "auto"
+    #: Worker count for ``engine="sharded"``: 0 defers to the
+    #: ``REPRO_ENGINE_SHARDS`` env var (unset env -> 1 shard).
+    shards: int = field(default_factory=_default_shards)
+    #: How sharded workers run: "process" (default — N spawned worker
+    #: processes, the multi-core path) or "inprocess" (all shards in this
+    #: process: required for fault injection / injected transports, and
+    #: what the determinism tests use to control message schedules).
+    shard_runner: str = "process"
     #: Capacity of the batched path's LRU of classification outcomes (by oid).
     posterior_cache_size: int = 4096
     #: Save a crawl checkpoint every this many successful fetches (0 disables;
@@ -202,6 +234,11 @@ class CrawlerConfig:
             compact_every=getattr(self, "compact_every", 1),
             compact_min_garbage_ratio=getattr(self, "compact_min_garbage_ratio", 0.5),
         )
+
+    def resolve_shards(self) -> int:
+        """The effective worker count for ``engine="sharded"`` (>= 1)."""
+        shards = getattr(self, "shards", 0)
+        return shards if shards and shards > 0 else 1
 
 
 @dataclass
@@ -305,6 +342,13 @@ class CrawlEngine:
         if config.engine not in ENGINE_MODES:
             raise ValueError(
                 f"unknown engine mode {config.engine!r}; expected one of {ENGINE_MODES}"
+            )
+        if config.engine == "sharded":
+            raise ValueError(
+                "engine='sharded' is not a CrawlEngine mode: it partitions the "
+                "crawl across worker processes.  Drive it through "
+                "FocusSystem.start/crawl (repro.crawler.sharded builds the "
+                "coordinator and shard workers)."
             )
         if config.score_backend not in SCORE_BACKENDS:
             raise ValueError(

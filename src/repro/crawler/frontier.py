@@ -29,6 +29,9 @@ from repro.webgraph.urls import normalize_url, server_sid, url_oid
 
 from .policies import CrawlOrdering, aggressive_discovery
 
+#: Below this heap size, compaction is never worth the rebuild.
+_COMPACT_MIN_HEAP = 64
+
 
 @dataclass
 class FrontierEntry:
@@ -84,6 +87,16 @@ class Frontier:
         self._url_of_oid: Dict[int, str] = {}
         self._server_load: Dict[int, int] = {}
         self._heap: list[tuple[tuple, int, str]] = []
+        # Heap hygiene: the heap is lazily invalidated, so it accumulates
+        # tuples for dead/visited entries and superseded priorities.  A
+        # live count of frontier-status entries (maintained on every status
+        # transition) makes the dead fraction O(1) to estimate; when dead
+        # tuples outnumber live ones the heap is rebuilt from scratch, so a
+        # pop_batch drain costs O(k + dead-since-last-compaction), never
+        # O(total heap history).
+        self._frontier_count = 0
+        self._heap_tuples_scanned = 0
+        self._heap_compactions = 0
         # A plain int (not itertools.count) so checkpoints can persist it.
         self._next_discovered = 0
         # Round buffering (batched engine): pending CRAWL inserts/updates.
@@ -100,13 +113,42 @@ class Frontier:
 
     def _rebuild_heap(self) -> None:
         self._heap = []
+        count = 0
         for url, entry in self._entries.items():
             if entry.status == "frontier":
                 self._push(entry)
+                count += 1
+        self._frontier_count = count
+
+    def _set_status(self, entry: FrontierEntry, status: str) -> None:
+        """Transition an entry's status, keeping the live frontier count exact."""
+        if entry.status == "frontier":
+            self._frontier_count -= 1
+        if status == "frontier":
+            self._frontier_count += 1
+        entry.status = status
+
+    def _maybe_compact_heap(self) -> None:
+        """Rebuild the heap when dead tuples outnumber live frontier entries."""
+        if (
+            len(self._heap) >= _COMPACT_MIN_HEAP
+            and len(self._heap) > 2 * self._frontier_count
+        ):
+            self._rebuild_heap()
+            self._heap_compactions += 1
+
+    def heap_stats(self) -> Dict[str, int]:
+        """Hygiene counters: heap size, live entries, tuples scanned, compactions."""
+        return {
+            "heap_size": len(self._heap),
+            "frontier_size": self._frontier_count,
+            "tuples_scanned": self._heap_tuples_scanned,
+            "compactions": self._heap_compactions,
+        }
 
     # -- membership --------------------------------------------------------------------
     def __len__(self) -> int:
-        return sum(1 for e in self._entries.values() if e.status == "frontier")
+        return self._frontier_count
 
     def __contains__(self, url: str) -> bool:
         return normalize_url(url) in self._entries
@@ -149,7 +191,12 @@ class Frontier:
             self._push(entry)
 
     def _add_entry(
-        self, normalized: str, oid: int, sid: int, relevance: float
+        self,
+        normalized: str,
+        oid: int,
+        sid: int,
+        relevance: float,
+        discovered: Optional[int] = None,
     ) -> FrontierEntry:
         entry = FrontierEntry(
             url=normalized,
@@ -157,9 +204,13 @@ class Frontier:
             sid=sid,
             relevance=relevance,
             serverload=self._server_load.get(sid, 0),
-            discovered=self._next_discovered,
+            discovered=self._next_discovered if discovered is None else discovered,
         )
-        self._next_discovered += 1
+        # Sharded checkout passes coordinator-assigned discovery numbers
+        # (monotone in the global round order); keep the local counter
+        # strictly ahead so the two numbering sources can never collide.
+        self._next_discovered = max(self._next_discovered + 1, entry.discovered + 1)
+        self._frontier_count += 1
         if self._buffering:
             self._pending_new.append(entry)
         else:
@@ -188,6 +239,24 @@ class Frontier:
                 self._raise_priority(existing, relevance)
             else:
                 self._add_entry(normalized, oid, sid, relevance)
+
+    def add_many_discovered(self, targets, relevance: float) -> None:
+        """:meth:`add_many` over ``(normalized, oid, sid, discovered)`` quads.
+
+        The sharded engine's shard-aware checkout: each shard owns only a
+        slice of the frontier, so discovery numbers — which drive the
+        breadth-first ordering — are assigned by the coordinator over the
+        round's *global* expansion order and passed through here.  Known
+        targets keep their original number (exactly like ``add_many``);
+        new ones adopt the coordinator's.
+        """
+        entries = self._entries
+        for normalized, oid, sid, discovered in targets:
+            existing = entries.get(normalized)
+            if existing is not None:
+                self._raise_priority(existing, relevance)
+            else:
+                self._add_entry(normalized, oid, sid, relevance, discovered=discovered)
 
     def _crawl_row(self, entry: FrontierEntry) -> tuple:
         """The entry's CRAWL row, positional in the pinned schema order."""
@@ -234,9 +303,9 @@ class Frontier:
         entry = self.entry(url)
         entry.numtries += 1
         if permanent or entry.numtries > max_retries:
-            entry.status = "dead"
+            self._set_status(entry, "dead")
         else:
-            entry.status = "frontier"
+            self._set_status(entry, "frontier")
             self._push(entry)
         self._sync_row(entry, {"numtries": entry.numtries, "status": entry.status})
 
@@ -249,7 +318,7 @@ class Frontier:
     ) -> FrontierEntry:
         """Mark a URL visited, store its measured relevance and best leaf class."""
         entry = self.entry(url)
-        entry.status = "visited"
+        self._set_status(entry, "visited")
         entry.relevance = relevance
         entry.numtries += 1
         entry.lastvisited = tick
@@ -284,9 +353,11 @@ class Frontier:
         drain.  Ties under the ordering come out in stable oid order
         (see :meth:`_push`), so a batched checkout is deterministic.
         """
+        self._maybe_compact_heap()
         checked_out: list[str] = []
         while self._heap and len(checked_out) < k:
             key, _oid, url = heapq.heappop(self._heap)
+            self._heap_tuples_scanned += 1
             entry = self._entries.get(url)
             if entry is None or entry.status != "frontier":
                 continue
@@ -297,7 +368,7 @@ class Frontier:
                 # priority instead of losing the URL.
                 self._push(entry)
                 continue
-            entry.status = "in_flight"
+            self._set_status(entry, "in_flight")
             checked_out.append(url)
         return checked_out
 
@@ -305,8 +376,18 @@ class Frontier:
         """Return an in-flight URL to the frontier (e.g. after a transient failure)."""
         entry = self.entry(url)
         if entry.status == "in_flight":
-            entry.status = "frontier"
+            self._set_status(entry, "frontier")
             self._push(entry)
+
+    def current_key(self, entry: FrontierEntry) -> tuple:
+        """The entry's ordering key right now (value tuple, shard-comparable).
+
+        The sharded engine's checkout ships these with each candidate so
+        the coordinator can merge per-shard candidate lists exactly as a
+        single global heap would — same key function, same oid
+        tie-break.
+        """
+        return self._current_key(entry)
 
     # -- internals ------------------------------------------------------------------------------
     def _current_key(self, entry: FrontierEntry) -> tuple:

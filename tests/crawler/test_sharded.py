@@ -1,0 +1,436 @@
+"""Determinism and equivalence tests for the sharded crawl engine.
+
+The sharded engine is a pure *process-model* change, and these tests pin
+the three contracts that make it one:
+
+* ``N=1`` sharded is bit-identical to the batched engine — page
+  sequence, relevance floats, failures, and final table state;
+* ``N>=2`` runs are bit-identical to *each other* for any shard count
+  and any message-delivery schedule (the handoff-determinism property);
+* the multiprocessing runner produces exactly what the in-process
+  runner produces (same workers, different transport).
+"""
+
+import random
+
+import pytest
+
+from repro.classifier.training import ModelInstaller
+from repro.core.schema import create_focus_database
+from repro.crawler.engine import CrawlEngine, CrawlerConfig
+from repro.crawler.focused import FocusedCrawler
+from repro.crawler.frontier import Frontier
+from repro.crawler.handoff import HandoffRecord, merge_handoffs, shard_of_host
+from repro.crawler.sharded import ShardServerPool, build_sharded_crawler
+from repro.crawler.unfocused import UnfocusedCrawler
+from repro.webgraph.fetch import Fetcher
+
+GOOD = "recreation/cycling"
+
+
+@pytest.fixture(scope="module")
+def crawl_seeds(small_web):
+    return small_web.keyword_seed_pages(GOOD, count=8)
+
+
+def run_reference(small_web, trained_model, taxonomy, seeds, *, focused=True, **kwargs):
+    """A batched-engine crawl — the bit-level reference for sharded N=1."""
+    database = create_focus_database(buffer_pool_pages=512)
+    ModelInstaller(database).install(trained_model)
+    small_web.servers.reseed(0)
+    fetcher = Fetcher(small_web, failure_seed=0)
+    config = CrawlerConfig(engine="batched", **kwargs)
+    crawler_cls = FocusedCrawler if focused else UnfocusedCrawler
+    crawler = crawler_cls(fetcher, trained_model, taxonomy, database, config)
+    crawler.add_seeds(seeds)
+    trace = crawler.crawl()
+    return crawler, database, trace
+
+
+def run_sharded(
+    small_web, trained_model, taxonomy, seeds, *, shards, focused=True,
+    schedule=None, **kwargs,
+):
+    config = CrawlerConfig(
+        engine="sharded", shards=shards, shard_runner="inprocess", **kwargs
+    )
+    crawler = build_sharded_crawler(
+        small_web, trained_model, taxonomy, config,
+        focused=focused, fetch_failure_seed=0, schedule=schedule,
+    )
+    crawler.add_seeds(seeds)
+    trace = crawler.engine.run(crawler.config.max_pages)
+    return crawler, trace
+
+
+def visit_tuples(trace):
+    return [
+        (v.tick, v.url, v.relevance, v.server, v.out_degree, v.best_leaf_cid)
+        for v in trace.visits
+    ]
+
+
+def table_rows(database, name):
+    return sorted(tuple(row) for row in database.table(name).rows())
+
+
+def sharded_table_rows(crawler, name):
+    """The union of one table across all shard databases."""
+    rows = []
+    for worker in crawler.engine.runner.workers:
+        rows.extend(tuple(row) for row in worker.database.table(name).rows())
+    return sorted(rows)
+
+
+class TestShardedMatchesBatched:
+    KWARGS = dict(max_pages=100, batch_size=8, distill_every=40)
+
+    def test_n1_bit_identical_to_batched(
+        self, small_web, trained_model, taxonomy, crawl_seeds
+    ):
+        """One shard reproduces the batched engine exactly: visits, floats,
+        failures, distillation cadence, and the logical table state."""
+        _, ref_db, ref = run_reference(
+            small_web, trained_model, taxonomy, crawl_seeds, **self.KWARGS
+        )
+        crawler, trace = run_sharded(
+            small_web, trained_model, taxonomy, crawl_seeds, shards=1, **self.KWARGS
+        )
+        try:
+            assert visit_tuples(trace) == visit_tuples(ref)
+            assert trace.relevance_series() == ref.relevance_series()  # bitwise
+            assert trace.failed_urls == ref.failed_urls
+            assert trace.distillations == ref.distillations
+            for name in ("CRAWL", "LINK", "HUBS", "AUTH"):
+                assert sharded_table_rows(crawler, name) == table_rows(ref_db, name), name
+        finally:
+            crawler.shutdown()
+
+    def test_n2_equals_n4(self, small_web, trained_model, taxonomy, crawl_seeds):
+        """Shard count is invisible to the crawl: N=2 and N=4 agree bitwise."""
+        c2, t2 = run_sharded(
+            small_web, trained_model, taxonomy, crawl_seeds, shards=2, **self.KWARGS
+        )
+        c4, t4 = run_sharded(
+            small_web, trained_model, taxonomy, crawl_seeds, shards=4, **self.KWARGS
+        )
+        try:
+            assert visit_tuples(t2) == visit_tuples(t4)
+            assert t2.relevance_series() == t4.relevance_series()
+            assert t2.failed_urls == t4.failed_urls
+            for name in ("CRAWL", "LINK", "HUBS", "AUTH"):
+                assert sharded_table_rows(c2, name) == sharded_table_rows(c4, name)
+        finally:
+            c2.shutdown()
+            c4.shutdown()
+
+    def test_n4_partitions_by_server(self, small_web, trained_model, taxonomy, crawl_seeds):
+        """Every CRAWL row lives on the shard its server hashes to."""
+        crawler, _ = run_sharded(
+            small_web, trained_model, taxonomy, crawl_seeds, shards=4,
+            max_pages=40, batch_size=8, distill_every=0,
+        )
+        try:
+            for shard, worker in enumerate(crawler.engine.runner.workers):
+                urls = [m["url"] for m in worker.database.table("CRAWL").rows_as_dicts()]
+                assert urls, f"shard {shard} owns no URLs"
+                assert all(shard_of_host(url, 4) == shard for url in urls)
+        finally:
+            crawler.shutdown()
+
+    def test_hard_focus_parity(self, small_web, trained_model, taxonomy, crawl_seeds):
+        kwargs = dict(max_pages=60, batch_size=8, distill_every=0, focus_mode="hard")
+        _, _, ref = run_reference(
+            small_web, trained_model, taxonomy, crawl_seeds, **kwargs
+        )
+        crawler, trace = run_sharded(
+            small_web, trained_model, taxonomy, crawl_seeds, shards=1, **kwargs
+        )
+        try:
+            assert visit_tuples(trace) == visit_tuples(ref)
+        finally:
+            crawler.shutdown()
+        c2, t2 = run_sharded(
+            small_web, trained_model, taxonomy, crawl_seeds, shards=2, **kwargs
+        )
+        c3, t3 = run_sharded(
+            small_web, trained_model, taxonomy, crawl_seeds, shards=3, **kwargs
+        )
+        try:
+            assert visit_tuples(t2) == visit_tuples(t3)
+        finally:
+            c2.shutdown()
+            c3.shutdown()
+
+    def test_unfocused_breadth_first_parity(
+        self, small_web, trained_model, taxonomy, crawl_seeds
+    ):
+        """Coordinator-assigned discovery numbers keep BFS shard-invariant."""
+        kwargs = dict(max_pages=60, batch_size=8)
+        _, _, ref = run_reference(
+            small_web, trained_model, taxonomy, crawl_seeds, focused=False, **kwargs
+        )
+        crawler, trace = run_sharded(
+            small_web, trained_model, taxonomy, crawl_seeds, shards=1,
+            focused=False, **kwargs,
+        )
+        try:
+            assert visit_tuples(trace) == visit_tuples(ref)
+        finally:
+            crawler.shutdown()
+        c2, t2 = run_sharded(
+            small_web, trained_model, taxonomy, crawl_seeds, shards=2,
+            focused=False, **kwargs,
+        )
+        c4, t4 = run_sharded(
+            small_web, trained_model, taxonomy, crawl_seeds, shards=4,
+            focused=False, **kwargs,
+        )
+        try:
+            assert visit_tuples(t2) == visit_tuples(t4)
+        finally:
+            c2.shutdown()
+            c4.shutdown()
+
+    def test_top_hubs_available(self, small_web, trained_model, taxonomy, crawl_seeds):
+        crawler, _ = run_sharded(
+            small_web, trained_model, taxonomy, crawl_seeds, shards=2,
+            max_pages=50, batch_size=8, distill_every=25,
+        )
+        try:
+            hubs = crawler.top_hubs(5)
+            auth = crawler.top_authorities(5)
+            assert hubs and all(isinstance(u, str) and s >= 0 for u, s in hubs)
+            assert auth
+        finally:
+            crawler.shutdown()
+
+
+class TestHandoffDeterminism:
+    """The property at the heart of the design: delivery timing is invisible."""
+
+    def test_any_delivery_schedule_is_bit_identical(
+        self, small_web, trained_model, taxonomy, crawl_seeds
+    ):
+        """Random per-step permutations of the shard service order change
+        nothing: same page sequence, same relevance floats, same tables."""
+        kwargs = dict(max_pages=60, batch_size=8, distill_every=30)
+        _, baseline = run_sharded(
+            small_web, trained_model, taxonomy, crawl_seeds, shards=4, **kwargs
+        )
+        base_visits = visit_tuples(baseline)
+        base_relevance = baseline.relevance_series()
+        for seed in range(5):
+            rng = random.Random(seed)
+
+            def schedule(shards, rng=rng):
+                rng.shuffle(shards)
+                return shards
+
+            crawler, trace = run_sharded(
+                small_web, trained_model, taxonomy, crawl_seeds, shards=4,
+                schedule=schedule, **kwargs,
+            )
+            try:
+                assert visit_tuples(trace) == base_visits, f"schedule seed {seed}"
+                assert trace.relevance_series() == base_relevance
+            finally:
+                crawler.shutdown()
+
+    def test_merge_handoffs_is_schedule_invariant(self):
+        records = [
+            HandoffRecord(
+                round=r, pos=p, link_idx=i, src_oid=1, src_sid=1,
+                dst_url=f"u{r}{p}{i}", dst_oid=10 * r + p, dst_sid=2,
+                src_relevance=0.5, discovered=r * 100 + p * 10 + i,
+            )
+            for r in (1, 2)
+            for p in (0, 1, 2)
+            for i in (0, 1)
+        ]
+        rng = random.Random(7)
+        reference = merge_handoffs([records])
+        for _ in range(10):
+            shuffled = records[:]
+            rng.shuffle(shuffled)
+            # Split into arbitrary per-source queues; each queue keeps the
+            # canonical internal order (FIFO per (src, dst) pair).
+            cut = rng.randrange(len(shuffled) + 1)
+            queues = [
+                sorted(shuffled[:cut], key=HandoffRecord.sort_key),
+                sorted(shuffled[cut:], key=HandoffRecord.sort_key),
+            ]
+            assert merge_handoffs(queues) == reference
+
+    def test_shard_server_pool_streams_are_per_host(self):
+        pool_a = ShardServerPool({}, failure_seed=3)
+        pool_b = ShardServerPool({}, failure_seed=3)
+        for name in ("alpha.example.org", "beta.example.org"):
+            pool_a.ensure(name)
+            pool_b.ensure(name)
+        # Interleaving order differs; per-host sequences must not.
+        a = [pool_a.simulate_fetch("alpha.example.org") for _ in range(4)]
+        a += [pool_a.simulate_fetch("beta.example.org") for _ in range(4)]
+        b = []
+        for _ in range(4):
+            b.append(("beta", pool_b.simulate_fetch("beta.example.org")))
+            b.append(("alpha", pool_b.simulate_fetch("alpha.example.org")))
+        assert [x for tag, x in b if tag == "alpha"] == a[:4]
+        assert [x for tag, x in b if tag == "beta"] == a[4:]
+
+    def test_shard_server_pool_state_roundtrip(self):
+        pool = ShardServerPool({}, failure_seed=9)
+        pool.ensure("host.example.org")
+        pool.simulate_fetch("host.example.org")
+        state = pool.rng_state()
+        expected = [pool.simulate_fetch("host.example.org") for _ in range(3)]
+        restored = ShardServerPool({}, failure_seed=9)
+        restored.ensure("host.example.org")
+        restored.restore_rng(state)
+        assert [restored.simulate_fetch("host.example.org") for _ in range(3)] == expected
+
+
+class TestMultiprocessRunner:
+    def test_process_runner_matches_inprocess(
+        self, small_web, trained_model, taxonomy, crawl_seeds
+    ):
+        """Spawned worker processes produce the identical crawl."""
+        kwargs = dict(max_pages=30, batch_size=6, distill_every=15)
+        _, in_trace = run_sharded(
+            small_web, trained_model, taxonomy, crawl_seeds, shards=2, **kwargs
+        )
+        config = CrawlerConfig(
+            engine="sharded", shards=2, shard_runner="process", **kwargs
+        )
+        crawler = build_sharded_crawler(
+            small_web, trained_model, taxonomy, config, fetch_failure_seed=0
+        )
+        try:
+            crawler.add_seeds(crawl_seeds)
+            mp_trace = crawler.engine.run(crawler.config.max_pages)
+            assert visit_tuples(mp_trace) == visit_tuples(in_trace)
+            assert mp_trace.relevance_series() == in_trace.relevance_series()
+        finally:
+            crawler.shutdown()
+
+
+class TestStatsAggregation:
+    def test_io_snapshot_totals_and_per_shard_breakdown(
+        self, small_web, trained_model, taxonomy, crawl_seeds
+    ):
+        crawler, _ = run_sharded(
+            small_web, trained_model, taxonomy, crawl_seeds, shards=3,
+            max_pages=30, batch_size=6, distill_every=0,
+        )
+        try:
+            snapshot = crawler.io_snapshot()
+            shards = snapshot["shards"]
+            assert len(shards) == 3
+            numeric = [k for k, v in snapshot.items() if isinstance(v, (int, float))]
+            assert numeric
+            for key in numeric:
+                assert snapshot[key] == pytest.approx(
+                    sum(s.get(key, 0) for s in shards)
+                )
+        finally:
+            crawler.shutdown()
+
+    def test_stage_timings_sum_shards_and_include_distill(
+        self, small_web, trained_model, taxonomy, crawl_seeds
+    ):
+        crawler, _ = run_sharded(
+            small_web, trained_model, taxonomy, crawl_seeds, shards=2,
+            max_pages=30, batch_size=6, distill_every=15,
+        )
+        try:
+            timings = crawler.engine.stage_timings
+            assert set(timings) == {"fetch", "classify", "write", "distill"}
+            assert timings["fetch"] > 0.0
+            assert timings["classify"] > 0.0
+            assert timings["distill"] > 0.0
+            assert crawler.engine.fetch_overlap_ratio() == 0.0
+        finally:
+            crawler.shutdown()
+
+    def test_fetch_stats_aggregate_across_shards(
+        self, small_web, trained_model, taxonomy, crawl_seeds
+    ):
+        crawler, trace = run_sharded(
+            small_web, trained_model, taxonomy, crawl_seeds, shards=2,
+            max_pages=30, batch_size=6, distill_every=0,
+        )
+        try:
+            stats = crawler.fetcher.stats
+            assert stats.successes == len(trace.visits)
+            assert stats.attempts >= stats.successes
+        finally:
+            crawler.shutdown()
+
+    def test_heap_stats_one_entry_per_shard(
+        self, small_web, trained_model, taxonomy, crawl_seeds
+    ):
+        crawler, _ = run_sharded(
+            small_web, trained_model, taxonomy, crawl_seeds, shards=2,
+            max_pages=20, batch_size=5, distill_every=0,
+        )
+        try:
+            stats = crawler.heap_stats()
+            assert len(stats) == 2
+            for entry in stats:
+                assert {"heap_size", "frontier_size", "tuples_scanned", "compactions"} <= set(entry)
+        finally:
+            crawler.shutdown()
+
+
+class TestGuards:
+    def test_crawl_engine_rejects_sharded_mode(
+        self, trained_model, taxonomy, small_web, crawl_database
+    ):
+        fetcher = Fetcher(small_web, failure_seed=0)
+        config = CrawlerConfig(engine="sharded")
+        frontier = Frontier(crawl_database)
+        with pytest.raises(ValueError, match="sharded"):
+            CrawlEngine(
+                fetcher, trained_model, taxonomy, crawl_database, config,
+                frontier, trace=None,
+            )
+
+    def test_auto_never_resolves_to_sharded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_SHARDS", "4")
+        config = CrawlerConfig(engine="auto", batch_size=8)
+        assert config.resolve_shards() == 4
+        assert config.engine == "auto"  # sharding stays opt-in per config
+
+    def test_env_shard_count_flows_into_config(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_SHARDS", "3")
+        assert CrawlerConfig(engine="sharded").resolve_shards() == 3
+        monkeypatch.delenv("REPRO_ENGINE_SHARDS")
+        assert CrawlerConfig(engine="sharded").resolve_shards() == 1
+
+    def test_unknown_runner_rejected(self, small_web, trained_model, taxonomy):
+        config = CrawlerConfig(engine="sharded", shard_runner="threads")
+        with pytest.raises(ValueError, match="shard_runner"):
+            build_sharded_crawler(small_web, trained_model, taxonomy, config)
+
+    def test_schedule_requires_inprocess_runner(self, small_web, trained_model, taxonomy):
+        config = CrawlerConfig(engine="sharded", shard_runner="process")
+        with pytest.raises(ValueError, match="inprocess"):
+            build_sharded_crawler(
+                small_web, trained_model, taxonomy, config,
+                schedule=lambda shards: shards,
+            )
+
+    def test_database_stub_points_at_shard_databases(
+        self, small_web, trained_model, taxonomy, crawl_seeds
+    ):
+        crawler, _ = run_sharded(
+            small_web, trained_model, taxonomy, crawl_seeds, shards=2,
+            max_pages=10, batch_size=5, distill_every=0,
+        )
+        try:
+            assert crawler.database.sharded is True
+            with pytest.raises(AttributeError, match="per shard"):
+                crawler.database.table("CRAWL")
+        finally:
+            crawler.shutdown()
+        assert crawler.database.closed

@@ -144,3 +144,53 @@ class TestWorkerThread:
         summary = manager.result_summary(job_id)
         assert summary["fetched_urls"] == urls
         assert summary["relevance"] == relevance
+
+
+def sharded_crawler_config() -> CrawlerConfig:
+    # The service wraps every job's transport in the shared pool, which
+    # cannot cross a process boundary: sharded jobs run in-process.
+    return CrawlerConfig(
+        engine="sharded",
+        shards=2,
+        shard_runner="inprocess",
+        max_pages=60,
+        batch_size=8,
+        distill_every=30,
+    )
+
+
+class TestShardedJobs:
+    def test_sharded_job_is_bit_identical_to_solo(self, system):
+        solo = system.start(
+            JobSpec(max_pages=60, crawler=sharded_crawler_config())
+        ).run()
+        manager = JobManager(system, rounds_per_step=1)
+        job_id = manager.submit(
+            JobSpec(max_pages=60, crawler=sharded_crawler_config(), name="sharded")
+        )
+        other = manager.submit(JobSpec(max_pages=60, fetch_failure_seed=5))
+        manager.run_until_idle()
+        summary = manager.result_summary(job_id)
+        assert summary["status"] == "completed"
+        assert summary["fetched_urls"] == list(solo.trace.fetched_urls)
+        assert summary["relevance"] == [v.relevance for v in solo.trace.visits]
+        assert manager.result_summary(other)["status"] == "completed"
+
+    def test_sharded_job_stats_aggregate_across_shards(self, system):
+        manager = JobManager(system, rounds_per_step=1)
+        job_id = manager.submit(
+            JobSpec(max_pages=60, crawler=sharded_crawler_config())
+        )
+        manager.run_until_idle()
+        stats = manager.stats(job_id)
+        io = stats["io"]
+        assert len(io["shards"]) == 2
+        for key, total in io.items():
+            if key == "shards":
+                continue
+            if isinstance(total, (int, float)):
+                parts = sum(shard.get(key, 0) for shard in io["shards"])
+                assert total == pytest.approx(parts), key
+        timings = stats["stage_timings"]
+        assert {"fetch", "classify", "write"} <= set(timings)
+        assert stats["pool"]["total_fetches"] > 0
