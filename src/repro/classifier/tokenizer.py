@@ -54,13 +54,23 @@ def tokenize_text(text: str, min_length: int = 2) -> list[str]:
 
 
 def term_frequencies(document: Union[str, Sequence[str]]) -> TermFrequencies:
-    """Build :class:`TermFrequencies` from raw text or a pre-tokenised list."""
+    """Build :class:`TermFrequencies` from raw text or a pre-tokenised list.
+
+    Hashes once per *distinct* token rather than once per occurrence:
+    token strings are counted first (a C-speed ``Counter``), then each
+    unique token is mapped through :func:`term_id`.  Distinct tokens that
+    collide to the same 32-bit id have their counts summed, so the result
+    is identical to hashing every occurrence.
+    """
     if isinstance(document, str):
         tokens: Iterable[str] = tokenize_text(document)
     else:
         tokens = document
-    counts = Counter(map(term_id, tokens))
-    return TermFrequencies(dict(counts))
+    by_tid: Dict[int, int] = {}
+    for token, count in Counter(tokens).items():
+        tid = term_id(token)
+        by_tid[tid] = by_tid.get(tid, 0) + count
+    return TermFrequencies(by_tid)
 
 
 def term_frequencies_by_term(document: Union[str, Sequence[str]]) -> Dict[str, int]:

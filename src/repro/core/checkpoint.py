@@ -172,6 +172,10 @@ class CheckpointManager:
         #: :meth:`save` — the price of durability (flush + snapshot +
         #: any segment compaction), reported by the throughput bench.
         self.save_seconds = 0.0
+        #: Per-checkpoint pauses (the deltas summed into save_seconds);
+        #: the bench compares pause floors checkpoint-by-checkpoint
+        #: across repeats, which a single cumulative scalar can't support.
+        self.pause_log: list[float] = []
 
     def attach(self) -> None:
         """Register with the crawl engine as its checkpoint sink."""
@@ -182,7 +186,9 @@ class CheckpointManager:
         started = time.perf_counter()
         self.checkpoints_saved += 1
         self.database.checkpoint(app_state=self._crawl_state())
-        self.save_seconds += time.perf_counter() - started
+        paused = time.perf_counter() - started
+        self.save_seconds += paused
+        self.pause_log.append(paused)
 
     def _crawl_state(self) -> CrawlCheckpoint:
         engine = self.crawler.engine

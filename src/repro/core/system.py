@@ -296,7 +296,7 @@ class CrawlHandle:
     def progress(self) -> dict:
         """A JSON-safe snapshot of the job's progress (live while crawling)."""
         trace = self.trace
-        return {
+        info = {
             "name": self.spec.name,
             "status": self.status,
             "pages_fetched": trace.pages_fetched,
@@ -309,6 +309,20 @@ class CrawlHandle:
             "harvest_rate": metrics.average_harvest_rate(trace),
             "checkpoints_saved": self.manager.checkpoints_saved if self.manager else 0,
         }
+        pipeline = self.pipeline_stats()
+        if pipeline is not None:
+            info["pipeline"] = pipeline
+        return info
+
+    def pipeline_stats(self) -> Optional[dict]:
+        """Saturation counters (fetch overlap, prefetch, frontier buckets).
+
+        ``None`` for crawler shapes without a single engine (e.g. the
+        sharded crawler, whose shards each keep their own counters).
+        """
+        engine = getattr(self.crawler, "engine", None)
+        stats = getattr(engine, "pipeline_stats", None)
+        return stats() if stats is not None else None
 
     def harvest_series(self, window: int = 100) -> list[tuple[int, float]]:
         """The live harvest curve, from the in-memory trace."""
@@ -682,6 +696,10 @@ class FocusSystem:
         compactor = database.backend.compactor
         compactor.compact_every = storage.compact_every
         compactor.min_garbage_ratio = storage.compact_min_garbage_ratio
+        database.backend.configure_background_compaction(
+            getattr(storage, "background_compaction", False),
+            getattr(storage, "compact_wal_bytes", 0),
+        )
         web = self.web.with_private_servers() if private_servers else self.web
         fetcher = Fetcher(web, failure_seed=checkpoint.fetch_failure_seed)
         web.servers.restore_rng(checkpoint.server_rng_state)

@@ -56,6 +56,7 @@ from repro.core.caching import LRUCache
 from repro.distiller.compiled import compile_links, compiled_weighted_hits
 from repro.distiller.db_distiller import IncrementalDistiller
 from repro.distiller.hits import DistillationResult, weighted_hits
+from repro.distiller.score_store import ScoreTableStore
 from repro.distiller.weights import Link
 from repro.minidb import Database, StorageConfig
 from repro.minidb.pages import RecordId
@@ -95,6 +96,16 @@ def _default_fetch_mode() -> str:
     through every entry point.
     """
     return os.environ.get("REPRO_FETCH_MODE", "auto")
+
+
+def _default_prefetch() -> bool:
+    """The session default: ``REPRO_PREFETCH`` env var, else off.
+
+    Mirrors ``REPRO_FETCH_MODE``: CI can run the whole suite with
+    cross-round speculation enabled without threading a flag through
+    every entry point.  Any value other than ``""``/``"0"`` enables it.
+    """
+    return os.environ.get("REPRO_PREFETCH", "").strip() not in ("", "0")
 
 
 def _default_score_backend() -> str:
@@ -158,6 +169,14 @@ class CrawlerConfig:
     #: "async" runs the round's fetches through an asyncio pipeline that
     #: overlaps transport latency with classification and writes.
     fetch_mode: str = field(default_factory=_default_fetch_mode)
+    #: Cross-round prefetch (async fetch mode only): at the tail of a
+    #: round, speculatively ``prepare()``+fetch the frontier's projected
+    #: next checkout while the current round's classify/write/distill
+    #: completes.  The round boundary reconciles the speculation against
+    #: the post-commit frontier (confirm-or-replay), so pages, relevance
+    #: floats, and all table contents stay bit-identical to the
+    #: non-prefetch async path.
+    prefetch: bool = field(default_factory=_default_prefetch)
     #: Maximum fetches outstanding at once in async mode (0 = round size).
     max_inflight: int = 0
     #: Per-server cap on outstanding async fetches (0 = unlimited) — the
@@ -239,6 +258,32 @@ class CrawlerConfig:
         """The effective worker count for ``engine="sharded"`` (>= 1)."""
         shards = getattr(self, "shards", 0)
         return shards if shards and shards > 0 else 1
+
+
+#: Speculative prepares launched per top-up step.  Small so the draw
+#: stream stays close behind the confirmed frontier (late speculation
+#: sees more of the round's priority updates and goes stale less often).
+_PREFETCH_CHUNK = 8
+
+
+@dataclass
+class _Speculation:
+    """In-flight cross-round speculation: the projected next checkout.
+
+    ``snapshots[i]`` is the combined transport + server-pool draw state
+    *after* the first ``i`` speculative prepares (``snapshots[0]`` is the
+    pre-speculation base), so reconciliation can keep any confirmed
+    prefix of the speculative draw stream, rewind to the first mismatch,
+    and replay the rest in canonical checkout order.
+    """
+
+    urls: List[str] = field(default_factory=list)
+    pendings: List[object] = field(default_factory=list)
+    tasks: List["asyncio.Task"] = field(default_factory=list)
+    snapshots: List[dict] = field(default_factory=list)
+
+    def undone(self) -> int:
+        return sum(1 for task in self.tasks if not task.done())
 
 
 @dataclass
@@ -394,10 +439,19 @@ class CrawlEngine:
         #: processing time — the async pipeline's overlap instrumentation.
         self.fetch_overlap_s = 0.0
         self._round_process_s = 0.0
+        #: Cross-round speculation state and counters (prefetch mode).
+        self._spec: Optional[_Speculation] = None
+        self._gate: Optional[asyncio.Semaphore] = None
+        self._server_gates: Dict[str, asyncio.Semaphore] = {}
+        self._prefetch_launched = 0
+        self._prefetch_hits = 0
+        self._prefetch_stale = 0
+        self._prefetch_drained = 0
         #: oid -> measured relevance of every visited page, in visit order.
         self._relevance: Dict[int, float] = {}
         self._outcome_cache = OutcomeLRU(config.posterior_cache_size)
         self._link_writer = BufferedLinkWriter(database.table("LINK"))
+        self._score_store = ScoreTableStore(database)
         self._incremental: Optional[IncrementalDistiller] = None
         self._pool: Optional[ThreadPoolExecutor] = None
         #: Columnar scorer (score_backend="numpy"), compiled lazily so the
@@ -429,6 +483,35 @@ class CrawlEngine:
         """True when the batched engine runs the asyncio fetch pipeline."""
         return self.config.fetch_mode == "async"
 
+    @property
+    def prefetch_enabled(self) -> bool:
+        """True when the batched async pipeline speculates across rounds.
+
+        The ``getattr`` default keeps configs unpickled from pre-prefetch
+        checkpoints (which lack the field entirely) resumable.
+        """
+        return (
+            self.batched
+            and self.async_fetch
+            and bool(getattr(self.config, "prefetch", False))
+        )
+
+    def prefetch_stale_ratio(self) -> float:
+        """Fraction of speculative prepares discarded at reconciliation."""
+        if not self._prefetch_launched:
+            return 0.0
+        return (self._prefetch_stale + self._prefetch_drained) / self._prefetch_launched
+
+    def prefetch_stats(self) -> Dict[str, float]:
+        """Speculation counters: launched/hit/stale/drained plus the ratio."""
+        return {
+            "launched": self._prefetch_launched,
+            "hits": self._prefetch_hits,
+            "stale": self._prefetch_stale,
+            "drained": self._prefetch_drained,
+            "stale_ratio": self.prefetch_stale_ratio(),
+        }
+
     def fetch_overlap_ratio(self) -> float:
         """Fraction of round processing that ran while fetches were in flight.
 
@@ -439,6 +522,15 @@ class CrawlEngine:
         if self._round_process_s <= 0.0:
             return 0.0
         return self.fetch_overlap_s / self._round_process_s
+
+    def pipeline_stats(self) -> Dict[str, object]:
+        """Saturation counters: fetch overlap, speculation, frontier shape."""
+        return {
+            "prefetch_enabled": self.prefetch_enabled,
+            "fetch_overlap_ratio": self.fetch_overlap_ratio(),
+            "prefetch": self.prefetch_stats(),
+            "frontier": self.frontier.heap_stats(),
+        }
 
     # -- public API ------------------------------------------------------------------
     def run(self, budget: int, max_rounds: Optional[int] = None) -> CrawlTrace:
@@ -549,6 +641,12 @@ class CrawlEngine:
                 "hits": self._outcome_cache.hits,
                 "misses": self._outcome_cache.misses,
             },
+            "prefetch": {
+                "launched": self._prefetch_launched,
+                "hits": self._prefetch_hits,
+                "stale": self._prefetch_stale,
+                "drained": self._prefetch_drained,
+            },
             "delta_cache": (
                 self._incremental.cache.state_snapshot()
                 if self._incremental is not None
@@ -567,6 +665,15 @@ class CrawlEngine:
         self._outcome_cache = OutcomeLRU(self.config.posterior_cache_size)
         self._outcome_cache.hits = state["outcome_cache"]["hits"]
         self._outcome_cache.misses = state["outcome_cache"]["misses"]
+        # .get defaults keep pre-prefetch checkpoints resumable.
+        prefetch = state.get("prefetch") or {}
+        self._prefetch_launched = prefetch.get("launched", 0)
+        self._prefetch_hits = prefetch.get("hits", 0)
+        self._prefetch_stale = prefetch.get("stale", 0)
+        self._prefetch_drained = prefetch.get("drained", 0)
+        # The score-table rid cache is soft state; rebuild it from the
+        # replayed tables rather than trusting pre-crash record ids.
+        self._score_store.invalidate()
         if state["delta_cache"] is not None:
             self._incremental_distiller().cache.restore_state(state["delta_cache"])
         # The trace object is shared with the driving crawler; refill it in
@@ -669,6 +776,10 @@ class CrawlEngine:
         config = self.config
         # Create the delta cache up front so every flushed round feeds it.
         self._incremental_distiller()
+        if self.prefetch_enabled:
+            # One event loop for the whole run: speculative fetch tasks
+            # must survive round boundaries.
+            return asyncio.run(self._run_batched_prefetch(budget, max_rounds))
         stop = False
         rounds = 0
         while not stop and self.trace.pages_fetched < budget:
@@ -767,13 +878,22 @@ class CrawlEngine:
         wall clock, never the crawl.
         """
         transport = self.transport
-        policy = self.fetch_policy
         started = time.perf_counter()
         pendings = [transport.prepare(url) for url in urls]
         self.stage_timings["fetch"] += time.perf_counter() - started
-        gate = asyncio.Semaphore(policy.effective_inflight(len(urls)))
-        server_gates: Dict[str, asyncio.Semaphore] = {}
-        per_server = policy.per_server_inflight
+        gate = asyncio.Semaphore(self.fetch_policy.effective_inflight(len(urls)))
+        tasks = self._spawn_wait_tasks(pendings, gate, {})
+        return await self._drain_round(urls, tasks, speculate=False)
+
+    def _spawn_wait_tasks(
+        self,
+        pendings: Sequence[object],
+        gate: asyncio.Semaphore,
+        server_gates: Dict[str, asyncio.Semaphore],
+    ) -> List["asyncio.Task"]:
+        """Wrap prepared fetches in gated wait tasks on the running loop."""
+        transport = self.transport
+        per_server = self.fetch_policy.per_server_inflight
 
         async def wait_one(pending):
             async with gate:
@@ -786,10 +906,27 @@ class CrawlEngine:
                         return await transport.wait(pending)
                 return await transport.wait(pending)
 
-        tasks = [asyncio.create_task(wait_one(pending)) for pending in pendings]
+        return [asyncio.create_task(wait_one(pending)) for pending in pendings]
+
+    async def _drain_round(
+        self, urls: Sequence[str], tasks: List["asyncio.Task"], speculate: bool
+    ) -> bool:
+        """Await the round's tasks in checkout order, processing done prefixes.
+
+        With *speculate* on, the drain also tops up the cross-round
+        speculation stream between groups, and counts still-undone
+        speculative fetches toward the overlap credit — processing that
+        runs while *any* fetch is in flight is hidden latency.
+        """
         stop = False
         index = 0
+
+        def undone(start: int) -> int:
+            return sum(1 for task in tasks[start:] if not task.done())
+
         try:
+            if speculate:
+                self._topup_speculation(undone(0))
             while index < len(tasks):
                 waited = time.perf_counter()
                 head = await tasks[index]
@@ -799,7 +936,16 @@ class CrawlEngine:
                 while index < len(tasks) and tasks[index].done():
                     group.append((urls[index], tasks[index].result()))
                     index += 1
-                in_flight = len(tasks) - index
+                if speculate:
+                    # Top up *before* processing: the slack this group's
+                    # completion just opened is exactly the window the
+                    # next round's fetches should be sleeping through.
+                    self._topup_speculation(undone(index))
+                    in_flight = undone(index)
+                    if self._spec is not None:
+                        in_flight += self._spec.undone()
+                else:
+                    in_flight = len(tasks) - index
                 started = time.perf_counter()
                 if self._process_group(group):
                     stop = True
@@ -813,6 +959,229 @@ class CrawlEngine:
             for task in tasks[index:]:
                 task.cancel()
         return stop
+
+    # -- cross-round prefetch ----------------------------------------------------------
+    async def _run_batched_prefetch(
+        self, budget: int, max_rounds: Optional[int]
+    ) -> CrawlTrace:
+        """The batched loop with cross-round speculation (async fetch mode).
+
+        Identical round boundary work to :meth:`_run_batched`; the only
+        differences are (a) one event loop spans the whole run so
+        speculative fetch tasks survive round boundaries, and (b) each
+        round's checkout is reconciled against the live speculation
+        stream before fetching (:meth:`_reconcile_speculation`).
+        """
+        config = self.config
+        self._gate = asyncio.Semaphore(
+            self.fetch_policy.effective_inflight(config.batch_size)
+        )
+        self._server_gates = {}
+        stop = False
+        rounds = 0
+        try:
+            while not stop and self.trace.pages_fetched < budget:
+                if max_rounds is not None and rounds >= max_rounds:
+                    break
+                rounds += 1
+                round_size = min(config.batch_size, budget - self.trace.pages_fetched)
+                urls = self.frontier.pop_batch(round_size)
+                if not urls:
+                    self.trace.stagnated = True
+                    break
+                tasks = self._reconcile_speculation(urls)
+                self.frontier.begin_batch()
+                stop = await self._drain_round(urls, tasks, speculate=True)
+                started = time.perf_counter()
+                self.frontier.flush_batch()
+                updated = self._link_writer.flush()
+                self.stage_timings["write"] += time.perf_counter() - started
+                if updated:
+                    self._incremental_distiller().note_updated(updated)
+                if (
+                    config.distill_every
+                    and self._since_distillation >= config.distill_every
+                ):
+                    self.run_distillation()
+                self._maybe_checkpoint()
+                if not stop and self.trace.pages_fetched < budget:
+                    self._respeculate_round_end()
+        finally:
+            # Leave the draw streams canonical (and the loop task-free)
+            # no matter how the run ends.
+            self._drain_speculation()
+        return self.trace
+
+    def _draw_state_snapshot(self) -> dict:
+        """Every RNG stream (and counter) a ``prepare()`` call advances.
+
+        ``prepare`` draws from the transport stack (latency RNG, fetcher
+        RNG, fetcher stats — all inside ``transport.state_snapshot()``)
+        *and* from the shared server pool's failure/latency generator,
+        which is checkpointed separately; speculation must rewind both.
+        """
+        servers = getattr(self.fetcher.web, "servers", None)
+        return {
+            "transport": self.transport.state_snapshot(),
+            "servers": servers.rng_state() if servers is not None else None,
+        }
+
+    def _draw_state_restore(self, state: dict) -> None:
+        self.transport.restore_state(state["transport"])
+        if state["servers"] is not None:
+            self.fetcher.web.servers.restore_rng(state["servers"])
+
+    def _topup_speculation(self, undone_round: int) -> None:
+        """Extend the speculative stream while the pipeline has slack.
+
+        Keeps roughly one round's worth of fetches in flight: when the
+        undone round tail plus undone speculation drops below the batch
+        size, peek the frontier's projected next checkout and prepare a
+        chunk of it.  Draws happen here, synchronously — after every
+        confirmed draw so far — which is exactly their canonical position
+        if the projection holds; reconciliation rewinds them if not.
+        """
+        config = self.config
+        spec = self._spec
+        spec_len = 0 if spec is None else len(spec.urls)
+        if spec_len >= 2 * config.batch_size:
+            return
+        if undone_round + (0 if spec is None else spec.undone()) >= config.batch_size:
+            return
+        want = min(_PREFETCH_CHUNK, 2 * config.batch_size - spec_len)
+        preview = self.frontier.peek_batch(spec_len + want)
+        if spec is None:
+            spec = self._spec = _Speculation(snapshots=[self._draw_state_snapshot()])
+        known = set(spec.urls)
+        new_urls = [url for url in preview if url not in known][:want]
+        if not new_urls:
+            return
+        started = time.perf_counter()
+        pendings = []
+        for url in new_urls:
+            pendings.append(self.transport.prepare(url))
+            spec.snapshots.append(self._draw_state_snapshot())
+        self.stage_timings["fetch"] += time.perf_counter() - started
+        spec.urls.extend(new_urls)
+        spec.pendings.extend(pendings)
+        spec.tasks.extend(
+            self._spawn_wait_tasks(pendings, self._gate, self._server_gates)
+        )
+        self._prefetch_launched += len(new_urls)
+
+    def _respeculate_round_end(self) -> None:
+        """Correct the speculative stream at the round tail, where it is cheap.
+
+        Every priority update this round makes (visits, expansions,
+        failures, distillation boosts) is applied by now, so a projection
+        taken here almost always survives the next round's
+        reconciliation.  Mid-round speculation, by contrast, goes stale
+        whenever a freshly discovered link outranks the queue — so trim
+        the speculative tail back to its still-confirmed prefix (rewind
+        the draws now, not at reconcile) and extend with the accurate
+        projection, letting the next round's latency tick down through
+        the boundary work.
+        """
+        projection = self.frontier.peek_batch(self.config.batch_size)
+        spec = self._spec
+        if spec is not None:
+            limit = min(len(projection), len(spec.urls))
+            prefix = 0
+            while prefix < limit and projection[prefix] == spec.urls[prefix]:
+                prefix += 1
+            if prefix < len(spec.urls):
+                self._prefetch_stale += len(spec.urls) - prefix
+                for task in spec.tasks[prefix:]:
+                    task.cancel()
+                self._draw_state_restore(spec.snapshots[prefix])
+                del spec.urls[prefix:]
+                del spec.pendings[prefix:]
+                del spec.tasks[prefix:]
+                del spec.snapshots[prefix + 1 :]
+        else:
+            spec = self._spec = _Speculation(snapshots=[self._draw_state_snapshot()])
+        new_urls = projection[len(spec.urls) :]
+        if not new_urls:
+            return
+        started = time.perf_counter()
+        pendings = []
+        for url in new_urls:
+            pendings.append(self.transport.prepare(url))
+            spec.snapshots.append(self._draw_state_snapshot())
+        self.stage_timings["fetch"] += time.perf_counter() - started
+        spec.urls.extend(new_urls)
+        spec.pendings.extend(pendings)
+        spec.tasks.extend(
+            self._spawn_wait_tasks(pendings, self._gate, self._server_gates)
+        )
+        self._prefetch_launched += len(new_urls)
+
+    def _reconcile_speculation(self, urls: Sequence[str]) -> List["asyncio.Task"]:
+        """Turn a canonical checkout into fetch tasks, reusing confirmed speculation.
+
+        The longest common prefix of the speculative stream and the
+        canonical checkout is confirmed: those prepares drew in exactly
+        the order the non-prefetch path would have, so their in-flight
+        tasks are adopted as-is.  Everything past the first mismatch is
+        cancelled, the draw streams rewind to the confirmed-prefix
+        snapshot, and the rest of the round prepares freshly — the
+        replay leg of the confirm-or-replay contract.
+        """
+        spec = self._spec
+        if spec is not None:
+            limit = min(len(urls), len(spec.urls))
+            prefix = 0
+            while prefix < limit and urls[prefix] == spec.urls[prefix]:
+                prefix += 1
+            self._prefetch_hits += prefix
+            if prefix == len(urls):
+                # Whole round served from speculation; the surviving
+                # suffix (drawn after this round's prepares — its
+                # canonical position) stays live for the next round.
+                tasks = spec.tasks[:prefix]
+                self._spec = (
+                    _Speculation(
+                        urls=spec.urls[prefix:],
+                        pendings=spec.pendings[prefix:],
+                        tasks=spec.tasks[prefix:],
+                        snapshots=spec.snapshots[prefix:],
+                    )
+                    if prefix < len(spec.urls)
+                    else None
+                )
+                return tasks
+            self._prefetch_stale += len(spec.urls) - prefix
+            for task in spec.tasks[prefix:]:
+                task.cancel()
+            self._draw_state_restore(spec.snapshots[prefix])
+            confirmed = spec.tasks[:prefix]
+            self._spec = None
+        else:
+            prefix = 0
+            confirmed = []
+        started = time.perf_counter()
+        pendings = [self.transport.prepare(url) for url in urls[prefix:]]
+        self.stage_timings["fetch"] += time.perf_counter() - started
+        return confirmed + self._spawn_wait_tasks(
+            pendings, self._gate, self._server_gates
+        )
+
+    def _drain_speculation(self) -> None:
+        """Cancel all speculation and rewind the draw streams to canonical.
+
+        Runs before every checkpoint save and at prefetch-loop exit, so
+        persisted transport/server RNG state never includes speculative
+        draws — a resumed crawl replays them from the round boundary,
+        bit for bit.
+        """
+        spec = self._spec
+        if spec is None:
+            return
+        self._prefetch_drained += len(spec.urls)
+        for task in spec.tasks:
+            task.cancel()
+        self._draw_state_restore(spec.snapshots[0])
+        self._spec = None
 
     def _classify_stage(
         self, fetched: Sequence[Tuple[str, FetchResult]]
@@ -899,6 +1268,9 @@ class CrawlEngine:
         )
         if not (count_due or time_due):
             return
+        # The checkpoint must capture canonical draw-stream state: any
+        # live cross-round speculation is cancelled and rewound first.
+        self._drain_speculation()
         self._since_checkpoint = 0
         if interval:
             self._last_checkpoint_s = time.monotonic()
@@ -992,13 +1364,10 @@ class CrawlEngine:
         return self._incremental
 
     def _store_scores(self, result: DistillationResult) -> None:
-        hubs = self.database.table("HUBS")
-        auth = self.database.table("AUTH")
-        hubs.truncate()
-        auth.truncate()
-        # (oid, score) matches the HUBS/AUTH schema order.
-        hubs.insert_many(result.hub_scores.items())
-        auth.insert_many(result.authority_scores.items())
+        # Delta writes: only scores that changed since the last
+        # distillation touch the heap (see ScoreTableStore).
+        self._score_store.store("HUBS", result.hub_scores)
+        self._score_store.store("AUTH", result.authority_scores)
 
     def _boost_hub_neighbours(self, result: DistillationResult) -> None:
         """Raise frontier priority of unvisited pages cited by the best hubs (§3.7)."""

@@ -2,9 +2,26 @@
 
 The authoritative record of every known URL is the CRAWL table (so ad-hoc
 SQL can inspect the frontier and so triggers/monitoring work as in the
-paper).  The Frontier keeps an in-memory priority heap mirroring the
-ordering over frontier-status rows — the role an index ordering plays in
-DB2 — with lazy invalidation when priorities change.
+paper).  The Frontier keeps an in-memory priority structure mirroring
+the ordering over frontier-status rows — the role an index ordering
+plays in DB2 — with lazy invalidation when priorities change.
+
+Two interchangeable structures implement that priority order:
+
+* :class:`HeapIndex` — a single binary heap over the full ordering key,
+  the reference implementation (the pre-bucketing behaviour, bit for
+  bit);
+* :class:`BucketedIndex` — the default: tuples are partitioned into
+  priority *bands* derived from the leading ordering columns (integer
+  columns pass through losslessly; the first float column — relevance
+  under the default orderings — is quantised into
+  ``_RELEVANCE_BANDS`` bands) and each band keeps its own small heap
+  over the full key.  Because the band function is monotone in the
+  lexicographic key order, draining bands in band order yields exactly
+  the heap's total order — property tests pin the equivalence — while
+  pushes and priority reassignments pay ``O(log bucket)`` instead of
+  ``O(log everything)`` and a ``pop_batch(k)`` drain touches only the
+  leading band(s).
 
 Ties under the crawl ordering are broken by page oid, which is a stable
 function of the URL: checkout order therefore does not depend on
@@ -14,14 +31,19 @@ regardless of how a round interleaved its ``add_url`` calls.
 For the batched crawl engine the frontier supports *round buffering*
 (:meth:`begin_batch` / :meth:`flush_batch`): in-memory entries stay
 authoritative at all times, while CRAWL-table writes accumulate and are
-flushed once per round through ``insert_many`` / ``update_rows``.
+flushed once per round through ``insert_many`` / ``update_rows``.  The
+cross-round prefetch pipeline additionally uses :meth:`peek_batch` — a
+side-effect-free preview of the next checkout — to speculate on future
+rounds without perturbing entry state.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
+import os
 from dataclasses import dataclass, fields
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.minidb import Database
 from repro.minidb.pages import PageId, RecordId
@@ -29,8 +51,156 @@ from repro.webgraph.urls import normalize_url, server_sid, url_oid
 
 from .policies import CrawlOrdering, aggressive_discovery
 
-#: Below this heap size, compaction is never worth the rebuild.
+#: Below this index size, compaction is never worth the rebuild.
 _COMPACT_MIN_HEAP = 64
+
+#: Quantisation of the first float ordering column into priority bands.
+_RELEVANCE_BANDS = 32
+
+#: Ordering columns whose key values are integers (lossless band
+#: components) vs. floats (quantised; banding stops at the first one —
+#: a lossy component deeper in the band would break the total order).
+_INT_ORDER_COLUMNS = frozenset({"numtries", "serverload", "discovered", "lastvisited"})
+_FLOAT_ORDER_COLUMNS = frozenset({"relevance", "hub_score", "authority_score"})
+
+#: Priority-index implementations accepted by ``Frontier(index=...)``.
+FRONTIER_INDEXES = ("bucketed", "heap")
+
+#: One prioritised tuple: (ordering key, oid tie-break, url).
+_IndexItem = Tuple[tuple, int, str]
+
+
+def _default_frontier_index() -> str:
+    """Session default: ``REPRO_FRONTIER_INDEX`` env var, else ``"bucketed"``."""
+    return os.environ.get("REPRO_FRONTIER_INDEX", "bucketed")
+
+
+class HeapIndex:
+    """The reference priority structure: one binary heap over the full key."""
+
+    name = "heap"
+
+    def __init__(self) -> None:
+        self._heap: List[_IndexItem] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, item: _IndexItem) -> None:
+        heapq.heappush(self._heap, item)
+
+    def pop_min(self) -> Optional[_IndexItem]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)
+
+    def clear(self) -> None:
+        self._heap = []
+
+    def stats(self) -> Dict[str, int]:
+        return {"buckets": 1, "largest_bucket": len(self._heap)}
+
+
+def compile_band_of(ordering: CrawlOrdering) -> Callable[[tuple], tuple]:
+    """The band function of *ordering*: monotone in lexicographic key order.
+
+    Leading integer columns contribute their exact key value (lossless,
+    so banding may continue past them); the first float column
+    contributes ``floor(value * _RELEVANCE_BANDS)`` and terminates the
+    band — any further component would compare *within* a lossy cell,
+    where the true key order is no longer determined by the band.
+    Monotonicity argument: if ``band(a) < band(b)`` then the first
+    differing band component is either an exact key value (so the keys
+    differ the same way) or the quantised float (``floor`` is monotone,
+    so ``floor(x) < floor(y)`` implies ``x < y``); either way ``a < b``
+    lexicographically.  Keys that band equally are ordered by the
+    per-bucket heap over the full tuple.
+    """
+    plan: List[bool] = []  # per leading component: True = lossless int
+    for column, _ascending in ordering.keys:
+        if column in _INT_ORDER_COLUMNS:
+            plan.append(True)
+            continue
+        if column in _FLOAT_ORDER_COLUMNS:
+            plan.append(False)
+        break
+    depth = len(plan)
+
+    def band_of(key: tuple) -> tuple:
+        parts = []
+        for position in range(depth):
+            value = key[position]
+            if plan[position]:
+                parts.append(int(value))
+            else:
+                parts.append(math.floor(float(value) * _RELEVANCE_BANDS))
+        return tuple(parts)
+
+    return band_of
+
+
+class BucketedIndex:
+    """Relevance-banded buckets, each an independent heap over the full key.
+
+    ``_band_heap`` orders the live band ids; a band id is pushed once
+    when its bucket is created and retired when the (empty) bucket
+    reaches the top of the band heap — buckets only ever drain at the
+    top, so at most one live instance of each id exists.
+    """
+
+    name = "bucketed"
+
+    def __init__(self, band_of: Callable[[tuple], tuple]) -> None:
+        self._band_of = band_of
+        self._buckets: Dict[tuple, List[_IndexItem]] = {}
+        self._band_heap: List[tuple] = []
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, item: _IndexItem) -> None:
+        band = self._band_of(item[0])
+        bucket = self._buckets.get(band)
+        if bucket is None:
+            bucket = self._buckets[band] = []
+            heapq.heappush(self._band_heap, band)
+        heapq.heappush(bucket, item)
+        self._size += 1
+
+    def pop_min(self) -> Optional[_IndexItem]:
+        while self._band_heap:
+            band = self._band_heap[0]
+            bucket = self._buckets.get(band)
+            if not bucket:
+                heapq.heappop(self._band_heap)
+                self._buckets.pop(band, None)
+                continue
+            self._size -= 1
+            return heapq.heappop(bucket)
+        return None
+
+    def clear(self) -> None:
+        self._buckets = {}
+        self._band_heap = []
+        self._size = 0
+
+    def stats(self) -> Dict[str, int]:
+        sizes = [len(bucket) for bucket in self._buckets.values() if bucket]
+        return {
+            "buckets": len(sizes),
+            "largest_bucket": max(sizes, default=0),
+        }
+
+
+def _build_index(name: str, ordering: CrawlOrdering):
+    if name == "heap":
+        return HeapIndex()
+    if name == "bucketed":
+        return BucketedIndex(compile_band_of(ordering))
+    raise ValueError(
+        f"unknown frontier index {name!r}; expected one of {FRONTIER_INDEXES}"
+    )
 
 
 @dataclass
@@ -69,10 +239,17 @@ class Frontier:
         self,
         database: Database,
         ordering: Optional[CrawlOrdering] = None,
+        index: Optional[str] = None,
     ) -> None:
         self.database = database
         self.ordering = ordering or aggressive_discovery()
         self._entry_key = self.ordering.compile_entry_key()
+        self._index_name = index or _default_frontier_index()
+        if self._index_name not in FRONTIER_INDEXES:
+            raise ValueError(
+                f"unknown frontier index {self._index_name!r}; "
+                f"expected one of {FRONTIER_INDEXES}"
+            )
         # CRAWL rows are built positionally for bulk loading; pin the order.
         crawl_columns = tuple(database.table("CRAWL").schema.column_names)
         expected = (
@@ -86,14 +263,14 @@ class Frontier:
         #: are keyed by oid; this avoids rebuilding the inverse per lookup).
         self._url_of_oid: Dict[int, str] = {}
         self._server_load: Dict[int, int] = {}
-        self._heap: list[tuple[tuple, int, str]] = []
-        # Heap hygiene: the heap is lazily invalidated, so it accumulates
-        # tuples for dead/visited entries and superseded priorities.  A
-        # live count of frontier-status entries (maintained on every status
-        # transition) makes the dead fraction O(1) to estimate; when dead
-        # tuples outnumber live ones the heap is rebuilt from scratch, so a
-        # pop_batch drain costs O(k + dead-since-last-compaction), never
-        # O(total heap history).
+        self._index = _build_index(self._index_name, self.ordering)
+        # Index hygiene: the structure is lazily invalidated, so it
+        # accumulates tuples for dead/visited entries and superseded
+        # priorities.  A live count of frontier-status entries (maintained
+        # on every status transition) makes the dead fraction O(1) to
+        # estimate; when dead tuples outnumber live ones the index is
+        # rebuilt from scratch, so a pop_batch drain costs
+        # O(k + dead-since-last-compaction), never O(total push history).
         self._frontier_count = 0
         self._heap_tuples_scanned = 0
         self._heap_compactions = 0
@@ -109,10 +286,11 @@ class Frontier:
         """Switch crawl policy dynamically (the paper's one-line policy change)."""
         self.ordering = ordering
         self._entry_key = ordering.compile_entry_key()
+        self._index = _build_index(self._index_name, ordering)
         self._rebuild_heap()
 
     def _rebuild_heap(self) -> None:
-        self._heap = []
+        self._index.clear()
         count = 0
         for url, entry in self._entries.items():
             if entry.status == "frontier":
@@ -129,22 +307,30 @@ class Frontier:
         entry.status = status
 
     def _maybe_compact_heap(self) -> None:
-        """Rebuild the heap when dead tuples outnumber live frontier entries."""
+        """Rebuild the index when dead tuples outnumber live frontier entries."""
         if (
-            len(self._heap) >= _COMPACT_MIN_HEAP
-            and len(self._heap) > 2 * self._frontier_count
+            len(self._index) >= _COMPACT_MIN_HEAP
+            and len(self._index) > 2 * self._frontier_count
         ):
             self._rebuild_heap()
             self._heap_compactions += 1
 
-    def heap_stats(self) -> Dict[str, int]:
-        """Hygiene counters: heap size, live entries, tuples scanned, compactions."""
-        return {
-            "heap_size": len(self._heap),
+    def heap_stats(self) -> Dict[str, Any]:
+        """Hygiene counters: index size, live entries, tuples scanned, compactions.
+
+        ``heap_size`` keeps its historical name (total prioritised tuples,
+        whatever the structure); ``index``/``buckets``/``largest_bucket``
+        describe the configured priority structure.
+        """
+        stats: Dict[str, Any] = {
+            "heap_size": len(self._index),
             "frontier_size": self._frontier_count,
             "tuples_scanned": self._heap_tuples_scanned,
             "compactions": self._heap_compactions,
+            "index": self._index.name,
         }
+        stats.update(self._index.stats())
+        return stats
 
     # -- membership --------------------------------------------------------------------
     def __len__(self) -> int:
@@ -355,8 +541,11 @@ class Frontier:
         """
         self._maybe_compact_heap()
         checked_out: list[str] = []
-        while self._heap and len(checked_out) < k:
-            key, _oid, url = heapq.heappop(self._heap)
+        while len(checked_out) < k:
+            item = self._index.pop_min()
+            if item is None:
+                break
+            key, _oid, url = item
             self._heap_tuples_scanned += 1
             entry = self._entries.get(url)
             if entry is None or entry.status != "frontier":
@@ -371,6 +560,36 @@ class Frontier:
             self._set_status(entry, "in_flight")
             checked_out.append(url)
         return checked_out
+
+    def peek_batch(self, k: int) -> list[str]:
+        """A side-effect-free preview of what :meth:`pop_batch(k)` would return.
+
+        Drains the index exactly as a checkout would — lazily re-keying
+        stale tuples, discarding dead ones — but never touches entry
+        status, and pushes the accepted tuples straight back, so a
+        subsequent :meth:`pop_batch` yields the same sequence from the
+        same state.  This is the "optimistic snapshot of the next
+        checkout" the cross-round prefetch pipeline speculates on.
+        """
+        accepted: List[_IndexItem] = []
+        taken: set[str] = set()
+        while len(accepted) < k:
+            item = self._index.pop_min()
+            if item is None:
+                break
+            key, _oid, url = item
+            entry = self._entries.get(url)
+            if entry is None or entry.status != "frontier" or url in taken:
+                continue
+            current_key = self._current_key(entry)
+            if key != current_key:
+                self._push(entry)
+                continue
+            taken.add(url)
+            accepted.append(item)
+        for item in accepted:
+            self._index.push(item)
+        return [url for _key, _oid, url in accepted]
 
     def requeue(self, url: str) -> None:
         """Return an in-flight URL to the frontier (e.g. after a transient failure)."""
@@ -398,7 +617,7 @@ class Frontier:
     def _push(self, entry: FrontierEntry) -> None:
         # Tie-break equal ordering keys by oid — a stable function of the
         # URL — so checkout order is independent of insertion history.
-        heapq.heappush(self._heap, (self._current_key(entry), entry.oid, entry.url))
+        self._index.push((self._current_key(entry), entry.oid, entry.url))
 
     def _sync_row(self, entry: FrontierEntry, changes: Mapping[str, Any]) -> None:
         if self._buffering:

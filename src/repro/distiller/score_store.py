@@ -1,0 +1,88 @@
+"""Delta persistence for the HUBS/AUTH distillation score tables.
+
+The crawl engine historically stored each distillation's scores by
+truncating the score table and re-inserting every row.  That is simple,
+but on a durable database it is also the single biggest write
+amplifier: every distillation rewrites every score page and journals a
+truncate plus a full re-insert, even though successive distillations
+agree on most scores (the base set converges; only the pages crawled
+since the last distillation move much).
+
+:class:`ScoreTableStore` keeps an ``oid -> record id`` map plus the
+last stored value per oid and writes only the difference:
+
+* scores that changed go through :meth:`Table.update_column` (the
+  single-column bulk fast path — ``score`` is unindexed and non-key);
+* new oids are bulk-inserted;
+* oids that vanished from the result are deleted (in sorted order, so
+  a cache rebuilt after a checkpoint resume issues the identical
+  mutation sequence an uninterrupted run would).
+
+The cache is soft state: :meth:`invalidate` drops it and the next
+:meth:`store` rebuilds it with one table scan — which is how a resumed
+crawl re-synchronises with the replayed database.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+__all__ = ["ScoreTableStore"]
+
+
+class ScoreTableStore:
+    """Write distillation scores into their table as a minimal delta."""
+
+    def __init__(self, database) -> None:
+        self.database = database
+        #: table name -> oid -> record id of that oid's row.
+        self._rids: Dict[str, Dict[int, object]] = {}
+        #: table name -> oid -> last stored score.
+        self._values: Dict[str, Dict[int, float]] = {}
+        #: Rows touched (updated + inserted + deleted) since construction.
+        self.rows_written = 0
+        #: Rows skipped because their stored score was already current.
+        self.rows_skipped = 0
+
+    def invalidate(self) -> None:
+        """Drop the caches (after a resume); the next store rescans."""
+        self._rids.clear()
+        self._values.clear()
+
+    def store(self, name: str, scores: Mapping[int, float]) -> None:
+        """Make table *name* hold exactly *scores*, writing only the delta."""
+        table = self.database.table(name)
+        rids = self._rids.get(name)
+        if rids is None:
+            rids = {}
+            values = {}
+            for rid, row in table.scan():
+                rids[row[0]] = rid
+                values[row[0]] = row[1]
+            self._rids[name] = rids
+            self._values[name] = values
+        values = self._values[name]
+
+        changed = []
+        inserts = []
+        for oid, score in scores.items():
+            rid = rids.get(oid)
+            if rid is None:
+                inserts.append((oid, score))
+            elif values[oid] != score:
+                changed.append((rid, score))
+            else:
+                self.rows_skipped += 1
+        removed = sorted(oid for oid in rids if oid not in scores)
+
+        if changed:
+            table.update_column("score", changed)
+        for oid in removed:
+            table.delete_row(rids.pop(oid))
+            del values[oid]
+        if inserts:
+            for (oid, _score), rid in zip(inserts, table.insert_many(inserts)):
+                rids[oid] = rid
+        for oid, score in scores.items():
+            values[oid] = score
+        self.rows_written += len(changed) + len(inserts) + len(removed)

@@ -224,6 +224,7 @@ class JobManager:
             return {
                 "io": handle.io_snapshot(),
                 "stage_timings": dict(handle.crawler.engine.stage_timings),
+                "pipeline": handle.pipeline_stats(),
                 "pool": self.pool.snapshot(),
             }
 

@@ -44,6 +44,39 @@ class TestTokenizer:
     def test_stopwords_are_lowercase(self):
         assert all(word == word.lower() for word in STOPWORDS)
 
+    @given(st.lists(st.sampled_from(["bike", "race", "wheel", "song", "guitar", "zz9"]), max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_unique_token_fast_path_matches_per_occurrence_hashing(self, tokens):
+        """term_frequencies hashes each distinct token once; the result —
+        values *and* insertion order — must equal hashing every occurrence."""
+        from collections import Counter
+
+        reference = dict(Counter(map(term_id, tokens)))
+        assert term_frequencies(tokens).by_tid == reference
+        assert list(term_frequencies(tokens).by_tid) == list(reference)
+
+    def test_colliding_tids_sum_their_counts(self):
+        """Distinct tokens sharing a 32-bit id must merge, not overwrite."""
+        import random
+        import zlib
+
+        # CRC32 detects small structured differences by design, so search
+        # random tokens (birthday bound ~80k draws over a 32-bit space).
+        rng = random.Random(0)
+        seen = {}
+        pair = None
+        for _ in range(1 << 20):
+            token = f"{rng.getrandbits(64):016x}"
+            crc = zlib.crc32(token.encode()) & 0xFFFFFFFF
+            if crc in seen and seen[crc] != token:
+                pair = (seen[crc], token)
+                break
+            seen[crc] = token
+        assert pair is not None, "no crc32 collision found in search budget"
+        a, b = pair
+        freqs = term_frequencies([a, a, b])
+        assert freqs.by_tid == {term_id(a): 3}
+
 
 class TestFeatureSelection:
     def test_fisher_scores_prefer_discriminative_terms(self):

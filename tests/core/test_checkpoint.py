@@ -297,6 +297,85 @@ class TestCrashResume:
         result.database.close()
 
 
+class TestPrefetchCrashResume:
+    """Kill/resume with cross-round prefetch active.
+
+    In-flight speculation is never checkpointed: every save drains the
+    speculative stream and rewinds the transport/server RNG draws first,
+    so a resumed prefetch crawl replays them canonically.  The combined
+    run must equal the uninterrupted *non-prefetch* reference bit for
+    bit — the strongest form of the confirm-or-replay contract.
+    """
+
+    @staticmethod
+    def prefetch_config() -> CrawlerConfig:
+        config = crawl_config("batched")
+        config.fetch_mode = "async"
+        config.prefetch = True
+        return config
+
+    # Arbitrary kill points: mid-round, mid-speculation, straddling the
+    # checkpoint cadence — speculative prepares consume fetch attempts
+    # early, so the same counts land at different pipeline states than
+    # in the non-prefetch async test above.
+    @pytest.mark.parametrize("kill_after", [12, 47, 83, 101])
+    def test_prefetch_killed_and_resumed_matches_uninterrupted(
+        self, checkpoint_system, reference_batched, tmp_path, monkeypatch, kill_after
+    ):
+        kill_fetcher_after(monkeypatch, kill_after)
+        with pytest.raises(KillSwitch):
+            checkpoint_system.crawl(
+                crawler_config=self.prefetch_config(),
+                fetch_failure_seed=FETCH_FAILURE_SEED,
+                checkpoint_dir=str(tmp_path / "crawl"),
+            )
+        monkeypatch.undo()
+
+        resumed = checkpoint_system.crawl(resume_from=str(tmp_path / "crawl"))
+        assert resumed.crawler.config.prefetch
+        assert resumed.pages_fetched() == MAX_PAGES
+        assert_traces_match(resumed, reference_batched)
+        resumed.database.close()
+
+    def test_prefetch_latency_killed_and_resumed(
+        self, checkpoint_system, tmp_path, monkeypatch
+    ):
+        """Same contract through the latency transport: its own RNG stream
+        (and the speculative draws taken from it) checkpoint canonically.
+        The reference is the *non-prefetch* latency crawl."""
+        def latency_config(prefetch: bool) -> CrawlerConfig:
+            config = crawl_config("batched")
+            config.fetch_mode = "async"
+            config.prefetch = prefetch
+            config.transport = "latency"
+            # time_scale=0: draws are made and checkpointed, sleeps skipped.
+            config.transport_options = {
+                "mean_latency_ms": 2.0,
+                "timeout_rate": 0.05,
+                "seed": 9,
+                "time_scale": 0.0,
+            }
+            return config
+
+        reference = checkpoint_system.crawl(
+            crawler_config=latency_config(False), fetch_failure_seed=FETCH_FAILURE_SEED
+        )
+        kill_fetcher_after(monkeypatch, 52)
+        with pytest.raises(KillSwitch):
+            checkpoint_system.crawl(
+                crawler_config=latency_config(True),
+                fetch_failure_seed=FETCH_FAILURE_SEED,
+                checkpoint_dir=str(tmp_path / "crawl"),
+            )
+        monkeypatch.undo()
+
+        resumed = checkpoint_system.crawl(resume_from=str(tmp_path / "crawl"))
+        assert resumed.crawler.config.prefetch
+        assert resumed.pages_fetched() == MAX_PAGES
+        assert_traces_match(resumed, reference)
+        resumed.database.close()
+
+
 class TestCrawlArgumentGuards:
     def test_checkpoint_dir_refuses_a_directory_already_holding_a_crawl(
         self, checkpoint_system, tmp_path

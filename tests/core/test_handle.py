@@ -70,6 +70,15 @@ class TestStepping:
         assert 0 < progress["pages_fetched"] <= 120
         assert progress["budget"] == 120
         assert progress["fetch_attempts"] >= progress["pages_fetched"]
+        pipeline = progress["pipeline"]
+        assert set(pipeline) == {
+            "prefetch_enabled",
+            "fetch_overlap_ratio",
+            "prefetch",
+            "frontier",
+        }
+        assert pipeline["frontier"]["frontier_size"] >= 0
+        assert pipeline["prefetch"]["launched"] >= 0
         handle.cancel()
         assert handle.status == "cancelled"
         assert handle.result().trace is handle.trace

@@ -403,6 +403,82 @@ class TestAsyncFetchPipeline:
             run_crawl(small_web, trained_model, taxonomy, [], transport="morse")
 
 
+class TestCrossRoundPrefetch:
+    """prefetch=True is a pure execution-strategy change.
+
+    Speculative prepares draw from the shared RNG streams *early*, so
+    the confirm-or-replay reconciliation must leave every crawl artefact
+    — URLs, relevance floats, failures, all four tables — bit-identical
+    to the non-prefetch async run.
+    """
+
+    def assert_same_crawl(self, a_db, a_trace, b_db, b_trace):
+        assert a_trace.fetched_urls == b_trace.fetched_urls
+        assert a_trace.relevance_series() == b_trace.relevance_series()  # bitwise
+        assert a_trace.failed_urls == b_trace.failed_urls
+        assert a_trace.distillations == b_trace.distillations
+        for table in ("CRAWL", "LINK", "HUBS", "AUTH"):
+            assert sorted(a_db.table(table).rows()) == sorted(b_db.table(table).rows())
+
+    def test_prefetch_bit_identical_simulated(
+        self, small_web, trained_model, taxonomy, crawl_seeds
+    ):
+        kwargs = dict(max_pages=120, distill_every=50, engine="batched",
+                      batch_size=8, fetch_mode="async")
+        _, base_db, base = run_crawl(
+            small_web, trained_model, taxonomy, crawl_seeds, prefetch=False, **kwargs
+        )
+        pre_crawler, pre_db, pre = run_crawl(
+            small_web, trained_model, taxonomy, crawl_seeds, prefetch=True, **kwargs
+        )
+        self.assert_same_crawl(base_db, base, pre_db, pre)
+        stats = pre_crawler.engine.prefetch_stats()
+        assert stats["launched"] > 0
+
+    def test_prefetch_bit_identical_latency(
+        self, small_web, trained_model, taxonomy, crawl_seeds
+    ):
+        kwargs = dict(
+            max_pages=80, distill_every=30, engine="batched", batch_size=8,
+            fetch_mode="async", transport="latency",
+            transport_options={"mean_latency_ms": 1.0, "seed": 4},
+        )
+        _, base_db, base = run_crawl(
+            small_web, trained_model, taxonomy, crawl_seeds, prefetch=False, **kwargs
+        )
+        _, pre_db, pre = run_crawl(
+            small_web, trained_model, taxonomy, crawl_seeds, prefetch=True, **kwargs
+        )
+        self.assert_same_crawl(base_db, base, pre_db, pre)
+
+    def test_prefetch_counters_reconcile(
+        self, small_web, trained_model, taxonomy, crawl_seeds
+    ):
+        crawler, _, _ = run_crawl(
+            small_web, trained_model, taxonomy, crawl_seeds,
+            max_pages=120, distill_every=40, engine="batched", batch_size=8,
+            fetch_mode="async", prefetch=True,
+        )
+        stats = crawler.engine.prefetch_stats()
+        # Every launched speculation is eventually confirmed, replayed
+        # stale, or drained at loop exit — nothing leaks.
+        assert stats["hits"] + stats["stale"] + stats["drained"] == stats["launched"]
+        assert 0.0 <= stats["stale_ratio"] <= 1.0
+        # No speculation survives the run; the draw streams are canonical.
+        assert crawler.engine._spec is None
+
+    def test_prefetch_ignored_outside_async_mode(
+        self, small_web, trained_model, taxonomy, crawl_seeds
+    ):
+        crawler, _, _ = run_crawl(
+            small_web, trained_model, taxonomy, crawl_seeds,
+            max_pages=40, distill_every=0, engine="batched", batch_size=8,
+            fetch_mode="threaded", prefetch=True,
+        )
+        assert not crawler.engine.prefetch_enabled
+        assert crawler.engine.prefetch_stats()["launched"] == 0
+
+
 class TestOutcomeLRU:
     def test_put_get_and_eviction(self):
         cache = OutcomeLRU(capacity=2)

@@ -1,6 +1,7 @@
 """Tests for crawl orderings and the CRAWL-table-backed frontier."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.schema import create_focus_database
 from repro.crawler.frontier import Frontier
@@ -239,3 +240,109 @@ class TestHeapHygiene:
         self.churn(frontier, urls, rounds=3)
         frontier.pop_batch(1)
         assert frontier.heap_stats()["compactions"] == 0
+
+
+class TestIndexEquivalence:
+    """The bucketed index must be observationally identical to the heap.
+
+    The heap index is the reference implementation (the pre-bucketing
+    code path, bit for bit); the bucketed index reorganises storage but
+    must preserve the exact ``(priority key, oid)`` total order.  We
+    drive both through identical randomised operation histories and
+    require identical pop sequences at every step.
+    """
+
+    ORDERINGS = [aggressive_discovery, relevance_only, breadth_first, crawl_maintenance]
+
+    @staticmethod
+    def make_pair(make_ordering):
+        pair = []
+        for index in ("heap", "bucketed"):
+            database = create_focus_database(buffer_pool_pages=64)
+            pair.append(Frontier(database, make_ordering(), index=index))
+        return pair
+
+    @staticmethod
+    def apply(frontier, op):
+        """Apply one operation; return anything observable for comparison."""
+        kind = op[0]
+        if kind == "add":
+            frontier.add_url(f"http://s{op[1] % 4}.example/p{op[1]}", relevance=op[2])
+            return None
+        if kind == "boost":
+            frontier.boost(f"http://s{op[1] % 4}.example/p{op[1]}", relevance=op[2])
+            return None
+        if kind == "scores":
+            frontier.update_scores(
+                f"http://s{op[1] % 4}.example/p{op[1]}",
+                hub_score=op[2],
+                authority_score=op[3],
+            )
+            return None
+        if kind == "pop":
+            return frontier.pop_batch(op[1])
+        if kind == "visit":
+            url = frontier.pop_next()
+            if url is not None:
+                frontier.record_visit(url, relevance=op[1], tick=op[2])
+            return url
+        if kind == "fail":
+            url = frontier.pop_next()
+            if url is not None:
+                frontier.record_failure(url, max_retries=op[1])
+            return url
+        raise AssertionError(op)
+
+    @staticmethod
+    def drain(frontier):
+        return frontier.pop_batch(10_000)
+
+    @pytest.mark.parametrize("make_ordering", ORDERINGS, ids=lambda o: o().name)
+    @given(ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("add"), st.integers(0, 15), st.floats(0, 1, allow_nan=False)),
+            st.tuples(st.just("boost"), st.integers(0, 15), st.floats(0, 1, allow_nan=False)),
+            st.tuples(st.just("scores"), st.integers(0, 15),
+                      st.floats(0, 1, allow_nan=False), st.floats(0, 1, allow_nan=False)),
+            st.tuples(st.just("pop"), st.integers(1, 4)),
+            st.tuples(st.just("visit"), st.floats(0, 1, allow_nan=False), st.integers(1, 50)),
+            st.tuples(st.just("fail"), st.integers(0, 2)),
+        ),
+        max_size=40,
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_identical_histories_pop_identically(self, make_ordering, ops):
+        heap, bucketed = self.make_pair(make_ordering)
+        for op in ops:
+            assert self.apply(heap, op) == self.apply(bucketed, op), op
+        assert self.drain(heap) == self.drain(bucketed)
+        assert len(heap) == len(bucketed) == 0
+
+    @given(
+        relevances=st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=30),
+        k=st.integers(1, 12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_peek_batch_is_a_pop_prefix(self, relevances, k):
+        """peek_batch(k) previews pop_batch(k) exactly and changes nothing."""
+        database = create_focus_database(buffer_pool_pages=64)
+        frontier = Frontier(database, relevance_only(), index="bucketed")
+        for i, relevance in enumerate(relevances):
+            frontier.add_url(f"http://s{i % 3}.example/p{i}", relevance=relevance)
+        size = len(frontier)
+        preview = frontier.peek_batch(k)
+        assert len(frontier) == size  # no status changes
+        assert frontier.peek_batch(k) == preview  # idempotent
+        assert frontier.pop_batch(k) == preview
+
+    def test_band_boundaries_do_not_split_ties(self):
+        """Scores straddling a 1/32 band edge still pop in exact key order."""
+        frontier, _ = TestFrontier().make_frontier(relevance_only())
+        edge = 5 / 32.0
+        scores = [edge - 1e-9, edge, edge + 1e-9, edge - 1e-12, edge + 0.03125]
+        for i, s in enumerate(scores):
+            frontier.add_url(f"http://b.example/p{i}", relevance=s)
+        order = sorted(range(len(scores)), key=lambda i: -scores[i])
+        assert frontier.pop_batch(len(scores)) == [
+            f"http://b.example/p{i}" for i in order
+        ]

@@ -476,3 +476,60 @@ class TestCrawlTorture:
         assert snap["segment_bytes_total"] <= 1.2 * snap["segment_bytes_live"]
         database.close()
         assert result.pages_fetched() == MAX_PAGES
+
+
+class TestBackgroundCompactionCrawl:
+    """Background (off-pause) compaction under a real durable crawl."""
+
+    def background_config(self):
+        from repro.minidb import StorageConfig
+
+        config = crawl_config()
+        config.storage = StorageConfig(
+            compact_every=1,
+            compact_min_garbage_ratio=0.05,
+            background_compaction=True,
+            compact_wal_bytes=32 * 1024,
+        )
+        return config
+
+    def test_background_mode_is_trace_identical_and_reclaims(
+        self, torture_system, reference_crawl, tmp_path
+    ):
+        config = self.background_config()
+        database = create_focus_database(
+            buffer_pool_pages=512,
+            path=str(tmp_path / "bg"),
+            storage=config.resolve_storage(),
+        )
+        result = torture_system.crawl(
+            crawler_config=config,
+            fetch_failure_seed=FETCH_FAILURE_SEED,
+            database=database,
+            checkpoint_dir=str(tmp_path / "bg"),
+        )
+        # Moving the rewrite off the pause must not perturb the crawl.
+        assert result.trace.fetched_urls == reference_crawl.trace.fetched_urls
+        assert (
+            result.trace.relevance_series()
+            == reference_crawl.trace.relevance_series()
+        )
+        assert database.backend.compaction_error is None
+        assert database.backend.background_compaction
+        # The worker races the crawl's checkpoints; if none of them caught
+        # an adopted rewrite, drive one to prove the machinery end to end.
+        if database.backend.compactions_run == 0:
+            database.buffer_pool.flush_all()
+            assert database.backend.run_compaction_once(force=True)
+            database.checkpoint(app_state=database.app_state())
+        snap = database.io_snapshot()
+        assert snap["compactions_run"] >= 1
+        assert snap["bytes_reclaimed"] > 0
+
+        # Resuming from the checkpoint re-applies the background policy
+        # onto the freshly opened backend.
+        handle = torture_system.resume(str(tmp_path / "bg"))
+        assert handle.database.backend.background_compaction
+        assert handle.database.backend.compact_wal_bytes == 32 * 1024
+        handle.close()
+        database.close()

@@ -86,7 +86,9 @@ class TestEndpoints:
         assert all(len(point) == 2 for point in harvest)
 
         stats = call(f"{base}/jobs/{job_id}/stats")
-        assert set(stats) == {"io", "stage_timings", "pool"}
+        assert set(stats) == {"io", "stage_timings", "pipeline", "pool"}
+        assert stats["pipeline"]["frontier"]["heap_size"] >= 0
+        assert "stale_ratio" in stats["pipeline"]["prefetch"]
 
         listing = call(f"{base}/jobs")
         assert [job["id"] for job in listing] == [job_id]
