@@ -62,7 +62,7 @@ Baseline history:
   gate): ``shard_scaling`` >= 2.0x on the CI smoke run, >= 2.5x at full
   scale.
 
-* v8 (this schema) — pipeline saturation (PR 8).  Every row carries a
+* v8 — pipeline saturation (PR 8).  Every row carries a
   ``prefetch`` tag and its ``prefetch_stale_ratio``; ``--transport
   latency`` now runs *three* overlap rows — threaded, async, and async
   with cross-round speculation — and reports ``prefetch_speedup``
@@ -75,6 +75,19 @@ Baseline history:
   ``bytes_reclaimed > 0``.  The regression gate's row key gains the
   prefetch tag, so speculative rows only gate against speculative
   baselines.
+
+* v9 (this schema) — the indexed graph-query layer (PR 9).  Two
+  ``query-*`` rows measure read latency over a freshly-crawled store:
+  ``query-reach`` runs the ``reachable_from()`` reachability predicate
+  (interval-index window scans keying a batched pk lookup) and
+  ``query-join`` a selective CRAWL⋈LINK join (index-nested-loop over the
+  link index), each timed under the index planner *and* re-run with
+  ``REPRO_SQL_PLANNER=scan`` as its baseline.  Every row reports
+  ``indexed_ms`` / ``scan_ms`` / ``query_speedup`` and pins ``identical``
+  (the two planners must return bit-identical rows); ``pages_per_sec``
+  carries the indexed path's queries/sec so the ordinary regression gate
+  covers query latency too.  Acceptance at full workload scale: both
+  speedups >= 3x (the CLI gates this on non ``--quick`` runs).
 
 ``--durable`` adds a row: the batched crawl (fastest backend in the
 matrix) on a durable (segment-file + WAL) database with periodic
@@ -114,6 +127,7 @@ from repro.core.config import JobSpec
 from repro.crawler.engine import CrawlerConfig
 from repro.experiments.workloads import build_crawl_workload
 from repro.minidb import StorageConfig
+from repro.minidb.planner import PLANNER_MODE_ENV
 from repro.service import JobManager
 
 #: Full-scale defaults (the acceptance configuration).
@@ -319,6 +333,112 @@ def run_sharded_row(
     }
     handle.close()
     return row
+
+
+def run_query_rows(
+    system,
+    seeds,
+    pages: int,
+    distill_every: int,
+    backend: str,
+    batch_size: int,
+    fetch_workers: int,
+    repeats: int,
+) -> list[dict]:
+    """The v9 graph-query rows: read latency on the store, indexed vs scan.
+
+    One batched crawl populates a store; each query is then timed (best
+    of several runs) under the index planner and again with the planner
+    forced to the scan path.  ``pages_per_sec`` carries the indexed
+    queries/sec so the ordinary regression gate covers query latency;
+    ``identical`` pins the two planners to bit-identical result rows.
+    """
+    config = CrawlerConfig(
+        max_pages=pages,
+        distill_every=distill_every,
+        engine="batched",
+        batch_size=batch_size,
+        fetch_workers=fetch_workers,
+        score_backend=backend,
+        fetch_mode="threaded",
+    )
+    result = system.crawl(max_pages=pages, seeds=seeds, crawler_config=config)
+    db = result.database
+
+    # A selective reachability root: the newest visited page whose
+    # reachable set stays small — the representative "what can this page
+    # still reach" monitoring query (a bulk root degenerates to the scan).
+    link_graph = db.table("LINK").indexes["link_graph"]
+    crawl_rows = db.table("CRAWL").row_count
+    visited = db.sql("select oid from CRAWL where status = 'visited' order by oid desc")
+    root = visited[-1]["oid"]
+    for row in visited:  # newest first: late pages reach the least
+        if len(link_graph.reachable_ids(row["oid"])) <= max(crawl_rows // 10, 16):
+            root = row["oid"]
+            break
+
+    probe = sorted(row["oid"] for row in visited[:12])
+    in_list = ", ".join(f":k{i}" for i in range(len(probe)))
+    queries = {
+        "query-reach": (
+            "select oid from CRAWL where reachable_from(oid, :root, 'link_graph')",
+            {"root": root},
+        ),
+        "query-join": (
+            "select C.oid, L.oid_dst from CRAWL C, LINK L "
+            f"where C.oid = L.oid_src and C.oid in ({in_list})",
+            {f"k{i}": oid for i, oid in enumerate(probe)},
+        ),
+    }
+
+    rows = []
+    saved = os.environ.get(PLANNER_MODE_ENV)
+    try:
+        for mode_name, (sql, params) in queries.items():
+            timings: dict[str, float] = {}
+            answers: dict[str, list] = {}
+            for planner in ("index", "scan"):
+                os.environ[PLANNER_MODE_ENV] = planner
+                # Indexed latencies are sub-millisecond: amortise each
+                # sample over an inner loop sized to ~50 ms of work, so
+                # the best-of-samples figure is stable enough for the
+                # 20% regression gate rather than timer-noise roulette.
+                start = time.perf_counter()
+                answers[planner] = db.sql(sql, params)
+                warmup = time.perf_counter() - start
+                inner = max(1, min(200, int(0.05 / max(warmup, 1e-6))))
+                best_s = warmup
+                for _ in range(max(repeats, 5)):
+                    start = time.perf_counter()
+                    for _ in range(inner):
+                        db.sql(sql, params)
+                    best_s = min(best_s, (time.perf_counter() - start) / inner)
+                timings[planner] = best_s
+            rows.append(
+                {
+                    "mode": mode_name,
+                    "backend": backend,
+                    "transport": "simulated",
+                    "fetch_mode": "threaded",
+                    "prefetch": False,
+                    "pages": len(answers["index"]),
+                    "seconds": round(timings["index"], 6),
+                    "pages_per_sec": round(1.0 / timings["index"], 2),
+                    "fetch_overlap": 0.0,
+                    "stages": {},
+                    "indexed_ms": round(timings["index"] * 1000, 3),
+                    "scan_ms": round(timings["scan"] * 1000, 3),
+                    "rows_returned": len(answers["index"]),
+                    "identical": answers["index"] == answers["scan"],
+                    "query_speedup": round(timings["scan"] / timings["index"], 2),
+                }
+            )
+    finally:
+        if saved is None:
+            os.environ.pop(PLANNER_MODE_ENV, None)
+        else:
+            os.environ[PLANNER_MODE_ENV] = saved
+    return rows
 
 
 def run_throughput(
@@ -583,6 +703,24 @@ def run_throughput(
                 widest["pages_per_sec"] / by_shards[1]["pages_per_sec"], 2
             )
 
+    # The v9 graph-query rows: read latency on a freshly-crawled store,
+    # index planner vs. the scan-planner baseline.
+    query_backend = "numpy" if "numpy" in backends else backends[0]
+    query_rows = run_query_rows(
+        system,
+        seeds,
+        pages,
+        distill_every,
+        backend=query_backend,
+        batch_size=batch_size,
+        fetch_workers=fetch_workers,
+        repeats=repeats,
+    )
+    results.extend(query_rows)
+    by_query = {row["mode"]: row for row in query_rows}
+    query_speedup = by_query["query-reach"]["query_speedup"]
+    query_join_speedup = by_query["query-join"]["query_speedup"]
+
     reference = by_backend.get("python", next(iter(by_backend.values())))
     speedup = (
         round(reference["pages_per_sec"] / serial["pages_per_sec"], 2)
@@ -597,7 +735,7 @@ def run_throughput(
     )
     return {
         "bench": "engine_throughput",
-        "schema_version": 8,
+        "schema_version": 9,
         "git_sha": git_sha(),
         "config": {
             "scale": scale,
@@ -626,6 +764,8 @@ def run_throughput(
         "async_speedup": async_speedup,
         "prefetch_speedup": prefetch_speedup,
         "shard_scaling": shard_scaling,
+        "query_speedup": query_speedup,
+        "query_join_speedup": query_join_speedup,
     }
 
 
@@ -815,6 +955,19 @@ def test_engine_throughput(bench_recorder, pytestconfig):
         background["checkpoint_pause_s"],
         inline["checkpoint_pause_s"],
     )
+    # Graph-query acceptance (v9): indexed reachability and the selective
+    # CRAWL⋈LINK join must beat the scan-planner baseline >= 3x on the
+    # full workload, returning bit-identical rows.
+    query_rows = {
+        row["mode"]: row
+        for row in payload["results"]
+        if row["mode"].startswith("query-")
+    }
+    assert set(query_rows) == {"query-reach", "query-join"}
+    assert all(row["identical"] for row in query_rows.values()), query_rows
+    assert all(row["rows_returned"] > 0 for row in query_rows.values()), query_rows
+    assert payload["query_speedup"] >= 3.0, query_rows["query-reach"]
+    assert payload["query_join_speedup"] >= 3.0, query_rows["query-join"]
     # And this run must not have drifted out of the (machine-normalised)
     # regression gate.
     drift = check_regression(payload, committed, max_drop=0.2, relative=True)
@@ -977,6 +1130,12 @@ def main(argv: Optional[list[str]] = None) -> int:
             )
         if "shards" in row:
             extra += f"  shards={row['shards']} ({row['shard_runner']})"
+        if "indexed_ms" in row:
+            extra += (
+                f"  indexed={row['indexed_ms']}ms scan={row['scan_ms']}ms "
+                f"({row['query_speedup']}x, {row['rows_returned']} rows, "
+                f"identical={row['identical']})"
+            )
         print(
             f"{label}: {row['pages']} pages in {row['seconds']}s "
             f"({row['pages_per_sec']} pages/sec)  {stages}{extra}"
@@ -990,7 +1149,25 @@ def main(argv: Optional[list[str]] = None) -> int:
         line += f"  prefetch: {payload['prefetch_speedup']}x"
     if payload["shard_scaling"] is not None:
         line += f"  shard_scaling: {payload['shard_scaling']}x"
+    line += (
+        f"  query: {payload['query_speedup']}x"
+        f"  query_join: {payload['query_join_speedup']}x"
+    )
     print(f"{line}  ->  {args.output}")
+
+    # The graph-query gate: on the full workload (the acceptance scale)
+    # the index planner must beat the scan baseline >= 3x on both query
+    # rows and return bit-identical rows.  Quick runs record the honest
+    # small-store numbers and skip the floor.
+    query_rows = [r for r in payload["results"] if r["mode"].startswith("query-")]
+    if any(not r["identical"] for r in query_rows):
+        print("REGRESSION: index-planner rows differ from the scan baseline")
+        return 1
+    if not args.quick:
+        for key in ("query_speedup", "query_join_speedup"):
+            if payload[key] < 3.0:
+                print(f"REGRESSION: {key} {payload[key]}x is below the 3.0x gate")
+                return 1
 
     # The sharded smoke gate: N workers must actually scale where the
     # hardware has the cores to show it.  Single-core containers (the

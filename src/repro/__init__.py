@@ -45,7 +45,7 @@ from .crawler.monitor import CrawlMonitor
 from .crawler.policies import CrawlOrdering, FetchPolicy
 from .crawler.sharded import ShardedCrawler, build_sharded_crawler
 from .experiments.workloads import build_crawl_workload
-from .minidb import Database, StorageConfig
+from .minidb import Database, ExplainResult, Plan, Query, StorageConfig
 from .service import CrawlService, JobManager, SharedFetchPool, serve
 from .webgraph.graph import WebConfig
 
@@ -63,11 +63,14 @@ __all__ = [
     "CrawlTrace",
     "CrawlerConfig",
     "Database",
+    "ExplainResult",
     "FetchPolicy",
     "FocusConfig",
     "FocusSystem",
     "JobManager",
     "JobSpec",
+    "Plan",
+    "Query",
     "ShardedCrawler",
     "SharedFetchPool",
     "StorageConfig",

@@ -148,7 +148,12 @@ class ModelInstaller:
                     primary_key=["kcid"],
                 ),
             )
-            db.table("TAXONOMY").create_index("taxonomy_pcid", ["pcid"], kind="hash")
+            taxonomy = db.table("TAXONOMY")
+            taxonomy.create_index("taxonomy_pcid", ["pcid"], kind="hash")
+            # Interval (pre/post window) index over the class tree, keyed
+            # (kcid, pcid): descendant_of()/in_subtree() predicates and
+            # subtree aggregations become single window range scans.
+            taxonomy.create_index("taxonomy_tree", ["kcid", "pcid"], kind="interval")
         if not db.has_table("BLOB"):
             db.create_table(
                 "BLOB",

@@ -87,13 +87,38 @@ def relevant_reference_set(
     }
 
 
+def relevant_reference_set_db(
+    database, relevance_threshold: float = float(np.exp(-1.0))
+) -> set[str]:
+    """Relevant URLs of a reference crawl, read from its CRAWL table.
+
+    The database-backed twin of :func:`relevant_reference_set`: one
+    planner-driven query over the crawl store instead of a Python walk
+    of the in-memory trace.  The two agree exactly — a visited row's
+    ``relevance`` is the value recorded at visit time — which
+    ``tests/experiments`` pins.
+    """
+    rows = database.sql(
+        "select url from CRAWL where status = 'visited' and relevance > :threshold",
+        {"threshold": relevance_threshold},
+    )
+    return {row["url"] for row in rows}
+
+
 def coverage_series(
     reference: CrawlTrace,
     test: CrawlTrace,
     relevance_threshold: float = float(np.exp(-1.0)),
+    reference_urls: Optional[set[str]] = None,
 ) -> list[CoveragePoint]:
-    """Fraction of the reference crawl's relevant URLs / servers found by the test crawl."""
-    reference_urls = relevant_reference_set(reference, relevance_threshold)
+    """Fraction of the reference crawl's relevant URLs / servers found by the test crawl.
+
+    *reference_urls* overrides the trace-derived relevant set — the
+    Figure-6 experiment passes the set read back from the reference
+    crawl's database so the whole analysis runs off the crawl store.
+    """
+    if reference_urls is None:
+        reference_urls = relevant_reference_set(reference, relevance_threshold)
     reference_servers = {host_of(url) for url in reference_urls}
     if not reference_urls:
         return []

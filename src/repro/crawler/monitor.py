@@ -77,6 +77,30 @@ class CrawlMonitor:
             sql += f" limit {int(limit)}"
         return self.database.sql(sql)
 
+    # -- taxonomy subtree census (interval-index window scan) ----------------------------------
+    def subtree_census(self, root_kcid: int) -> dict:
+        """Visited-page census over one whole taxonomy *subtree*.
+
+        The paper's mutual-funds diagnosis needed "this class or any
+        descendant of it" — an ancestor/descendant question the flat
+        census can't ask.  The ``in_subtree`` predicate answers it from
+        the ``taxonomy_tree`` interval index (one pre/post window range
+        scan over the class tree) instead of a recursive parent walk.
+        """
+        row = self.database.sql(
+            """
+            select count(*) pages, avg(relevance) avg_relevance
+            from CRAWL
+            where status = 'visited' and in_subtree(kcid, :root)
+            """,
+            {"root": root_kcid},
+        )[0]
+        return {
+            "root_kcid": root_kcid,
+            "pages": int(row["pages"] or 0),
+            "avg_relevance": row["avg_relevance"],
+        }
+
     # -- §3.7: possibly missed neighbours of great hubs -----------------------------------------
     def missed_hub_neighbours(self, hub_score_threshold: float) -> list[dict]:
         """Unvisited URLs cited (cross-server) by hubs scoring above ψ."""

@@ -19,11 +19,13 @@ Both produce the same scores as the in-memory
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional
 
 from repro.minidb import Database
 from repro.minidb.pages import PageId, RecordId
+from repro.minidb.query import legacy_scan_rows
 from repro.minidb.table import Table
 
 from .compiled import CompiledLinkGraph, compiled_weighted_hits
@@ -103,13 +105,41 @@ class _BaseDbDistiller:
 class JoinDistiller(_BaseDbDistiller):
     """One HITS iteration as two set-oriented SQL statements (paper Figure 4)."""
 
-    def iterate(self) -> None:
+    def _run_attributed(self, sql: str, params: Optional[dict] = None) -> list:
+        """Execute one statement and charge its I/O to the right counter.
+
+        Mutations (DELETE/UPDATE) are bookkeeping, not join work:
+        ``update_cost``.  Read pipelines ask the planner how their rows
+        were fetched (:meth:`Plan.access_rows`): the index-probe share
+        of the measured cost goes to ``lookup_cost``, the rest — scans,
+        hashing, grouping — to ``join_cost``.  The old one-diff-per-
+        iteration accounting silently booked index-path reads as join
+        work, which understated the lookup column of Figure 8(d)
+        whenever the planner picked an index plan.
+        """
         db = self.database
         before = db.stats.copy()
+        rows = db.sql(sql, params)
+        measured = db.stats.diff(before).simulated_cost()
+        verb = sql.split(None, 1)[0].lower()
+        if verb in ("delete", "update"):
+            self.cost.update_cost += measured
+            return rows
+        plan = db.last_plan
+        index_rows, scan_rows = plan.access_rows() if plan is not None else (0, 0)
+        touched = index_rows + scan_rows
+        if touched and index_rows:
+            lookup_share = measured * index_rows / touched
+            self.cost.lookup_cost += lookup_share
+            measured -= lookup_share
+        self.cost.join_cost += measured
+        return rows
+
+    def iterate(self) -> None:
         # UpdateAuth(rho): authorities gather prestige through forward weights,
         # filtered to sufficiently relevant pages, excluding same-server edges.
-        db.sql("delete from AUTH")
-        db.sql(
+        self._run_attributed("delete from AUTH")
+        self._run_attributed(
             """
             insert into AUTH(oid, score)
             (select oid_dst, sum(score * wgt_fwd)
@@ -122,13 +152,15 @@ class JoinDistiller(_BaseDbDistiller):
             """,
             {"rho": self.rho},
         )
-        total_auth = db.sql("select sum(score) total from AUTH")[0]["total"]
+        total_auth = self._run_attributed("select sum(score) total from AUTH")[0]["total"]
         if total_auth:
-            db.sql("update AUTH set score = score / :total", {"total": total_auth})
+            self._run_attributed(
+                "update AUTH set score = score / :total", {"total": total_auth}
+            )
 
         # UpdateHubs: hubs collect reflected prestige through backward weights.
-        db.sql("delete from HUBS")
-        db.sql(
+        self._run_attributed("delete from HUBS")
+        self._run_attributed(
             """
             insert into HUBS(oid, score)
             (select oid_src, sum(score * wgt_rev)
@@ -138,10 +170,11 @@ class JoinDistiller(_BaseDbDistiller):
              group by oid_src)
             """
         )
-        total_hubs = db.sql("select sum(score) total from HUBS")[0]["total"]
+        total_hubs = self._run_attributed("select sum(score) total from HUBS")[0]["total"]
         if total_hubs:
-            db.sql("update HUBS set score = score / :total", {"total": total_hubs})
-        self.cost.join_cost += db.stats.diff(before).simulated_cost()
+            self._run_attributed(
+                "update HUBS set score = score / :total", {"total": total_hubs}
+            )
         self.cost.iterations += 1
 
 
@@ -160,12 +193,18 @@ class IndexLookupDistiller(_BaseDbDistiller):
         auth_table = db.table("AUTH")
         link_table = db.table("LINK")
         crawl_schema = crawl.schema
-        link_schema = link_table.schema
 
         # ---- authority half-step ------------------------------------------------
         new_auth: Dict[int, float] = {}
         before = db.stats.copy()
-        link_rows = [link_schema.row_to_mapping(row) for _rid, row in link_table.scan()]
+        # The naive variant *is* the paper's sequential link-table scan,
+        # so it reads LINK through the deprecated raw-scan shim (with
+        # warnings suppressed here: the deprecation targets analytics
+        # call sites that should move to Database.query(), not this
+        # deliberately-naive baseline the experiment measures).
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            link_rows = legacy_scan_rows(link_table)
         self.cost.scan_cost += db.stats.diff(before).simulated_cost()
 
         before = db.stats.copy()

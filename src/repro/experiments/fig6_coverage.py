@@ -57,16 +57,22 @@ def run_coverage_experiment(
     reference = system.crawl(max_pages=reference_pages, seeds=seeds_reference)
     test = system.crawl(max_pages=test_pages, seeds=seeds_test, fetch_failure_seed=1)
 
-    points = metrics.coverage_series(reference.trace, test.trace, relevance_threshold)
+    # The relevant set comes from the reference crawl's CRAWL table (one
+    # SQL query over the store) rather than a trace walk; the trace-based
+    # helper remains as its pinned-equal twin.
+    reference_urls = metrics.relevant_reference_set_db(
+        reference.database, relevance_threshold
+    )
+    points = metrics.coverage_series(
+        reference.trace, test.trace, relevance_threshold, reference_urls=reference_urls
+    )
     if not points:
         raise RuntimeError("reference crawl found no relevant URLs; cannot measure coverage")
     return CoverageExperimentResult(
         points=points,
         final_url_coverage=points[-1].url_coverage,
         final_server_coverage=points[-1].server_coverage,
-        reference_relevant_urls=len(
-            metrics.relevant_reference_set(reference.trace, relevance_threshold)
-        ),
+        reference_relevant_urls=len(reference_urls),
         reference_result=reference,
         test_result=test,
     )

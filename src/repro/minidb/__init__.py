@@ -49,9 +49,11 @@ from .expressions import (
     or_,
 )
 from .index import HashIndex, OrderedIndex
+from .intervals import IntervalIndex
 from .operators import Aggregate
 from .pages import DEFAULT_PAGE_SIZE, PageId, RecordId
-from .query import Query
+from .planner import ExplainResult, Plan, planner_mode
+from .query import Query, legacy_scan_rows
 from .sql import execute_sql, parse_sql
 from .table import Table
 from .triggers import Trigger
@@ -70,16 +72,19 @@ __all__ = [
     "Database",
     "DEFAULT_PAGE_SIZE",
     "DurableBackend",
+    "ExplainResult",
     "Expression",
     "FLOAT",
     "FileOps",
     "HashIndex",
     "INTEGER",
     "IOStats",
+    "IntervalIndex",
     "MemoryBackend",
     "MiniDBError",
     "OrderedIndex",
     "PageId",
+    "Plan",
     "Query",
     "QueryError",
     "RecordId",
@@ -100,9 +105,11 @@ __all__ = [
     "func",
     "in_set",
     "is_null",
+    "legacy_scan_rows",
     "lit",
     "make_schema",
     "not_",
     "or_",
     "parse_sql",
+    "planner_mode",
 ]

@@ -29,7 +29,7 @@ from typing import Any, Iterable, Mapping, Optional, Sequence
 
 from .backend import DurableBackend, MemoryBackend, StorageBackend
 from .buffer_pool import BufferPool, IOStats
-from .errors import CatalogError, StorageError
+from .errors import CatalogError, QueryError, StorageError
 from .pages import DEFAULT_PAGE_SIZE, PageId, RecordId
 from .query import Query
 from .storage_config import StorageConfig
@@ -75,6 +75,10 @@ class Database:
         replay_upto_cut: Optional[int] = None,
     ) -> None:
         self.stats = IOStats()
+        #: The plan built for the most recent top-level SELECT (set by
+        #: :func:`repro.minidb.sql.execute_select`); lets callers inspect
+        #: which access paths a statement actually took.
+        self.last_plan = None
         self._closed = False
         self.backend = backend if backend is not None else MemoryBackend()
         self.buffer_pool = BufferPool(buffer_pool_pages, self.stats, self.backend)
@@ -221,6 +225,20 @@ class Database:
 
         return execute_sql(self, text, parameters or {})
 
+    def explain(
+        self, text: str, parameters: Optional[Mapping[str, Any]] = None
+    ) -> "ExplainResult":
+        """Plan a SELECT statement and return its rendered plan tree."""
+        from .planner import plan_select
+        from .sql import SelectStatement, parse_sql
+
+        statement = parse_sql(text)
+        if not isinstance(statement, SelectStatement):
+            raise QueryError("explain() supports SELECT statements only")
+        plan = plan_select(self, statement, parameters or {})
+        self.last_plan = plan
+        return plan.explain()
+
     # -- durability -------------------------------------------------------------------
     def checkpoint(self, app_state: Any = None) -> None:
         """Flush every dirty page and publish an atomic snapshot + fresh WAL.
@@ -295,6 +313,12 @@ class Database:
     def _catalog_meta(self) -> dict[str, Any]:
         """The snapshot's description of the catalog (schemas, extents, indexes)."""
         from .index import OrderedIndex
+        from .intervals import IntervalIndex
+
+        def kind_of(index) -> str:
+            if isinstance(index, IntervalIndex):
+                return "interval"
+            return "ordered" if isinstance(index, OrderedIndex) else "hash"
 
         tables = []
         for name, table in self._tables.items():  # dict order == creation order
@@ -309,7 +333,7 @@ class Database:
                         {
                             "name": index.name,
                             "columns": list(index.key_columns),
-                            "kind": "ordered" if isinstance(index, OrderedIndex) else "hash",
+                            "kind": kind_of(index),
                         }
                         for index in table.indexes.values()
                     ],

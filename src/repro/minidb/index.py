@@ -34,6 +34,14 @@ class Index:
         self._positions = schema.project_positions(key_columns)
         #: Number of key probes served, for instrumentation.
         self.probe_count = 0
+        #: Number of entry deletions processed since the last clear().
+        #: The planner only lets a *secondary* index drive an
+        #: index-nested-loop join while this is zero: an append-only
+        #: index keeps its postings in heap insertion order, so probe
+        #: results match what a hash join built from a table scan would
+        #: produce row-for-row.  (Unique primary-key indexes are always
+        #: safe regardless.)
+        self.deletions = 0
         # Short keys (every index in the system is 1-2 columns) build
         # without a generator frame per row.
         if len(self._positions) == 1:
@@ -77,6 +85,11 @@ class Index:
     def contains(self, key: tuple) -> bool:
         """Whether any entry exists under *key* (no result-list allocation)."""
         return bool(self.search(key))
+
+    @property
+    def key_count(self) -> int:
+        """Number of distinct keys — the planner's fan-out statistic."""
+        raise NotImplementedError
 
     def __len__(self) -> int:
         raise NotImplementedError
@@ -132,12 +145,14 @@ class HashIndex(Index):
         if bucket is None or bucket.pop(rid, _MISSING) is _MISSING:
             raise StorageError(f"index {self.name!r}: {rid} not found under key {key!r}")
         self._entries -= 1
+        self.deletions += 1
         if not bucket:
             del self._buckets[key]
 
     def clear(self) -> None:
         self._buckets.clear()
         self._entries = 0
+        self.deletions = 0
 
     def search(self, key: tuple) -> list[RecordId]:
         self.probe_count += 1
@@ -149,6 +164,10 @@ class HashIndex(Index):
 
     def keys(self) -> Iterator[tuple]:
         return iter(self._buckets)
+
+    @property
+    def key_count(self) -> int:
+        return len(self._buckets)
 
     def __len__(self) -> int:
         return self._entries
@@ -207,6 +226,7 @@ class OrderedIndex(Index):
             raise StorageError(f"index {self.name!r}: {rid} not found under key {key!r}")
         bucket.remove(rid)
         self._entries -= 1
+        self.deletions += 1
         if not bucket:
             del self._postings[key]
             pos = bisect.bisect_left(self._keys, key)
@@ -217,6 +237,7 @@ class OrderedIndex(Index):
         self._keys.clear()
         self._postings.clear()
         self._entries = 0
+        self.deletions = 0
 
     def search(self, key: tuple) -> list[RecordId]:
         self.probe_count += 1
@@ -266,6 +287,10 @@ class OrderedIndex(Index):
     def max_key(self) -> Optional[tuple]:
         return self._keys[-1] if self._keys else None
 
+    @property
+    def key_count(self) -> int:
+        return len(self._keys)
+
     def __len__(self) -> int:
         return self._entries
 
@@ -273,10 +298,16 @@ class OrderedIndex(Index):
 def build_index(
     kind: str, name: str, schema: Schema, key_columns: Iterable[str]
 ) -> Index:
-    """Factory: ``kind`` is ``"hash"`` or ``"ordered"``."""
+    """Factory: ``kind`` is ``"hash"``, ``"ordered"`` or ``"interval"``."""
     key_columns = list(key_columns)
     if kind == "hash":
         return HashIndex(name, schema, key_columns)
     if kind == "ordered":
         return OrderedIndex(name, schema, key_columns)
-    raise CatalogError(f"unknown index kind {kind!r} (expected 'hash' or 'ordered')")
+    if kind == "interval":
+        from .intervals import IntervalIndex
+
+        return IntervalIndex(name, schema, key_columns)
+    raise CatalogError(
+        f"unknown index kind {kind!r} (expected 'hash', 'ordered' or 'interval')"
+    )

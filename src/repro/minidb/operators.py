@@ -73,19 +73,89 @@ class Operator:
     def to_list(self) -> list[RowDict]:
         return list(iter(self))
 
+    def estimated_rows(self) -> Optional[int]:
+        """Cheap cardinality estimate for the planner; None when unknown.
+
+        Access paths answer from index statistics (no I/O); everything
+        else returns None and the planner assumes "large".
+        """
+        return None
+
+    # -- EXPLAIN support ---------------------------------------------------
+    def describe(self) -> str:
+        """One EXPLAIN line for this node (no children)."""
+        return type(self).__name__
+
+    def children(self) -> tuple["Operator", ...]:
+        """Child operators, left (outer) first."""
+        found = []
+        for attr in ("child", "left", "right"):
+            node = getattr(self, attr, None)
+            if isinstance(node, Operator):
+                found.append(node)
+        return tuple(found)
+
+
+def _index_fanout(index: Any) -> int:
+    """Average postings per distinct key, rounded up; >= 1 for non-empty."""
+    keys = getattr(index, "key_count", 0)
+    if not keys:
+        return 0
+    return -(-len(index) // keys)
+
+
+def explain_lines(op: Operator, depth: int = 0) -> list[str]:
+    """Render an operator tree as indented EXPLAIN lines, root first."""
+    lines = ["  " * depth + op.describe()]
+    for child in op.children():
+        lines.extend(explain_lines(child, depth + 1))
+    return lines
+
 
 class TableScan(Operator):
-    """Sequential scan of a table (page-at-a-time I/O through the buffer pool)."""
+    """Sequential scan of a table (page-at-a-time I/O through the buffer pool).
 
-    def __init__(self, table: Table, alias: Optional[str] = None) -> None:
+    ``columns`` restricts the row contexts to a subset of the schema
+    (projection pushdown): rows are still read whole off their heap
+    pages, but the per-row dict build — the CPU cost that dominates
+    wide scans — only touches the named columns.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        alias: Optional[str] = None,
+        columns: Optional[Sequence[str]] = None,
+    ) -> None:
         super().__init__()
         self.table = table
         self.alias = alias or table.name
+        self.columns = tuple(columns) if columns is not None else None
+        self._positions = (
+            list(zip(self.columns, table.schema.project_positions(self.columns)))
+            if self.columns is not None
+            else None
+        )
 
     def _produce(self) -> Iterator[RowDict]:
-        schema = self.table.schema
-        for row in self.table.rows():
-            yield _qualify(self.alias, schema.row_to_mapping(row))
+        alias = self.alias
+        if self._positions is None:
+            schema = self.table.schema
+            for row in self.table.rows():
+                yield _qualify(alias, schema.row_to_mapping(row))
+        else:
+            positions = self._positions
+            for row in self.table.rows():
+                yield _qualify(alias, {name: row[pos] for name, pos in positions})
+
+    def estimated_rows(self) -> Optional[int]:
+        return self.table.row_count
+
+    def describe(self) -> str:
+        label = f"TableScan({self.alias}"
+        if self.columns is not None:
+            label += f" cols=[{', '.join(self.columns)}]"
+        return label + ")"
 
 
 class IndexLookup(Operator):
@@ -108,6 +178,199 @@ class IndexLookup(Operator):
         schema = self.table.schema
         for row in self.table.lookup(self.index_name, self.key):
             yield _qualify(self.alias, schema.row_to_mapping(row))
+
+    def estimated_rows(self) -> Optional[int]:
+        return _index_fanout(self.table._resolve_index(self.index_name))
+
+    def describe(self) -> str:
+        return f"IndexLookup({self.alias}.{self.index_name} key={list(self.key)!r})"
+
+
+class IndexRangeScan(Operator):
+    """Fetch rows through an index *range* probe rather than a full scan.
+
+    Three modes, one operator:
+
+    * ``mode="range"`` — a ``low <= key <= high`` sweep over an
+      :class:`~repro.minidb.index.OrderedIndex`;
+    * ``mode="descendants"`` — the pre/post *window* range scan of an
+      :class:`~repro.minidb.intervals.IntervalIndex`: every row whose id
+      column lies in the subtree of ``root``;
+    * ``mode="reachable"`` — the window scan plus the extra-edge
+      fixpoint: every row whose id is graph-reachable from ``root``.
+
+    Matched record ids are dereferenced in heap (page, slot) order, so
+    the output is byte-identical to the filter-over-scan plan this
+    operator replaces — the planner's bit-transparency guarantee — and
+    the heap reads stay as sequential as the selectivity allows.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        index_name: str,
+        alias: Optional[str] = None,
+        mode: str = "range",
+        low: Optional[Sequence[Any]] = None,
+        high: Optional[Sequence[Any]] = None,
+        include_low: bool = True,
+        include_high: bool = True,
+        root: Any = None,
+        include_root: bool = False,
+    ) -> None:
+        super().__init__()
+        if mode not in ("range", "descendants", "reachable"):
+            raise QueryError(f"unknown index range-scan mode {mode!r}")
+        self.table = table
+        self.index_name = index_name
+        self.alias = alias or table.name
+        self.mode = mode
+        self.low = tuple(low) if low is not None else None
+        self.high = tuple(high) if high is not None else None
+        self.include_low = include_low
+        self.include_high = include_high
+        self.root = root
+        self.include_root = include_root
+
+    def _rids(self) -> list[Any]:
+        index = self.table._resolve_index(self.index_name)
+        if self.mode == "range":
+            rids = [
+                rid
+                for _key, rid in index.range_search(
+                    self.low, self.high, self.include_low, self.include_high
+                )
+            ]
+        elif self.mode == "descendants":
+            rids = list(index.descendant_rids(self.root, include_self=self.include_root))
+        else:
+            ids = index.reachable_ids(self.root, include_self=self.include_root)
+            rids = list(index.rids_for_ids(ids))
+        rids.sort(key=lambda rid: (rid.page_id.page_no, rid.slot))
+        return rids
+
+    def _produce(self) -> Iterator[RowDict]:
+        schema = self.table.schema
+        read = self.table.read
+        for rid in self._rids():
+            yield _qualify(self.alias, schema.row_to_mapping(read(rid)))
+
+    def estimated_rows(self) -> Optional[int]:
+        index = self.table._resolve_index(self.index_name)
+        if self.mode in ("descendants", "reachable"):
+            # Reachability adds extra-edge targets on top of the subtree
+            # window; the window count is a cheap, usually-tight floor.
+            return index.descendant_count(self.root, include_self=self.include_root)
+        return None
+
+    def describe(self) -> str:
+        base = f"IndexRangeScan({self.alias}.{self.index_name}"
+        if self.mode == "range":
+            lo = "(" if not self.include_low else "["
+            hi = ")" if not self.include_high else "]"
+            return f"{base} {lo}{self.low!r} .. {self.high!r}{hi})"
+        return f"{base} {self.mode}-of {self.root!r})"
+
+
+class IndexKeysLookup(Operator):
+    """Fetch rows for a *batch* of equality keys through one index.
+
+    The access path behind literal ``IN (...)`` lists and graph
+    predicates whose id set was resolved on another table's interval
+    index: one index probe per distinct key instead of a full scan.
+    ``None``-bearing keys are skipped (SQL ``IN`` never matches NULL),
+    duplicate keys probe once, and the matched record ids are read in
+    heap (page, slot) order so the output is byte-identical to the
+    filter-over-scan plan this replaces.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        index_name: str,
+        keys: Iterable[Sequence[Any]],
+        alias: Optional[str] = None,
+    ) -> None:
+        super().__init__()
+        self.table = table
+        self.index_name = index_name
+        self.keys = []
+        seen: set[tuple] = set()
+        for key in keys:
+            key = tuple(key)
+            if key in seen or any(part is None for part in key):
+                continue
+            seen.add(key)
+            self.keys.append(key)
+        self.alias = alias or table.name
+
+    def _produce(self) -> Iterator[RowDict]:
+        index = self.table._resolve_index(self.index_name)
+        rids = [rid for key in self.keys for rid in index.search(key)]
+        rids.sort(key=lambda rid: (rid.page_id.page_no, rid.slot))
+        schema = self.table.schema
+        read = self.table.read
+        for rid in rids:
+            yield _qualify(self.alias, schema.row_to_mapping(read(rid)))
+
+    def estimated_rows(self) -> Optional[int]:
+        fanout = _index_fanout(self.table._resolve_index(self.index_name))
+        return len(self.keys) * fanout
+
+    def describe(self) -> str:
+        return f"IndexKeysLookup({self.alias}.{self.index_name} nkeys={len(self.keys)})"
+
+
+class IndexNestedLoopJoin(Operator):
+    """Equi-join that probes the inner table's index once per outer row.
+
+    The indexed replacement for :class:`HashJoin` when the join key is
+    covered by an index on the inner table: no build side, no hash table
+    over the whole inner relation — each outer row costs one index probe
+    plus the matching heap reads.  Output order is identical to the
+    equivalent ``HashJoin(outer, TableScan(inner))``: hash buckets and
+    index postings both preserve heap insertion order, and outer rows
+    drive both loops.
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        table: Table,
+        index_name: str,
+        left_keys: Sequence[Expression],
+        alias: Optional[str] = None,
+        residual: Optional[Expression] = None,
+    ) -> None:
+        super().__init__()
+        self.left = left
+        self.table = table
+        self.index_name = index_name
+        self.left_keys = list(left_keys)
+        self.alias = alias or table.name
+        self.residual = residual
+
+    def _produce(self) -> Iterator[RowDict]:
+        schema = self.table.schema
+        alias = self.alias
+        lookup = self.table.lookup
+        index_name = self.index_name
+        for lctx in self.left:
+            key = tuple(k.evaluate(lctx) for k in self.left_keys)
+            if any(part is None for part in key):
+                # A NULL never equi-joins (HashJoin skips these on both
+                # sides; NULL keys do sit in the index, so don't probe).
+                continue
+            for row in lookup(index_name, key):
+                merged = _merge(lctx, _qualify(alias, schema.row_to_mapping(row)))
+                if self.residual is None or self.residual.evaluate(merged):
+                    yield merged
+
+    def describe(self) -> str:
+        return f"IndexNestedLoopJoin({self.alias}.{self.index_name})"
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.left,)
 
 
 class RowSource(Operator):
@@ -137,6 +400,9 @@ class Filter(Operator):
             if self.predicate.evaluate(ctx):
                 yield ctx
 
+    def describe(self) -> str:
+        return f"Filter({self.predicate!r})"
+
 
 class Project(Operator):
     """Evaluate a list of ``(output_name, expression)`` pairs per row."""
@@ -149,6 +415,9 @@ class Project(Operator):
     def _produce(self) -> Iterator[RowDict]:
         for ctx in self.child:
             yield {name: expr.evaluate(ctx) for name, expr in self.outputs}
+
+    def describe(self) -> str:
+        return f"Project([{', '.join(name for name, _ in self.outputs)}])"
 
 
 class Distinct(Operator):
@@ -215,6 +484,16 @@ class Limit(Operator):
             produced += 1
             yield ctx
 
+    def estimated_rows(self) -> Optional[int]:
+        inner = self.child.estimated_rows()
+        if inner is None:
+            return self.limit
+        return min(self.limit, max(0, inner - self.offset))
+
+    def describe(self) -> str:
+        suffix = f" offset={self.offset}" if self.offset else ""
+        return f"Limit({self.limit}{suffix})"
+
 
 # -- joins ------------------------------------------------------------------------
 
@@ -272,6 +551,12 @@ class HashJoin(Operator):
                 merged = _merge(lctx, rctx)
                 if self.residual is None or self.residual.evaluate(merged):
                     yield merged
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{left!r}={right!r}" for left, right in zip(self.left_keys, self.right_keys)
+        )
+        return f"HashJoin({keys})"
 
 
 class SortMergeJoin(Operator):
@@ -486,6 +771,11 @@ class GroupByAggregate(Operator):
             out.update(state.finalize())
             if self.having is None or self.having.evaluate(out):
                 yield out
+
+    def describe(self) -> str:
+        keys = ", ".join(name for name, _ in self.group_keys)
+        aggs = ", ".join(f"{a.func}->{a.output_name}" for a in self.aggregates)
+        return f"GroupByAggregate(keys=[{keys}] aggs=[{aggs}])"
 
 
 def materialize(op: Operator) -> list[RowDict]:

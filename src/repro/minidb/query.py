@@ -1,26 +1,36 @@
 """A fluent query builder with a small rule-based planner.
 
 The builder composes the operators from :mod:`repro.minidb.operators`
-into plans; the planner applies two simple but effective rules:
+into plans; the planner applies a few simple but effective rules:
 
 * an equality predicate on an indexed column turns a table scan into an
   index lookup;
-* equi-joins use a hash join by default, or a sort-merge join when
+* graph predicates (:meth:`Query.descendants_of` /
+  :meth:`Query.reachable_from`) become interval-index window range scans
+  when the base table carries the interval index, indexed id-set probes
+  when another index covers the tested column, and membership filters
+  otherwise;
+* equi-joins use a hash join by default, a sort-merge join when
   requested (``join(..., algorithm="merge")``) — the paper's BulkProbe
-  is phrased to make sort-merge profitable.
+  is phrased to make sort-merge profitable — or an index-nested-loop
+  join (``algorithm="index"``) probing the inner table's index once per
+  outer row.
 
 Example::
 
     rows = (Query(db, "LINK")
-            .join("CRAWL", on=[("oid_dst", "oid")])
+            .join("CRAWL", on=[("oid_dst", "oid")], algorithm="index")
             .where(col("relevance") > lit(0.5))
             .group_by("oid_dst")
             .aggregate("sum", col("wgt_fwd"), "score")
             .run())
+
+``Query.explain()`` renders the chosen plan without running it.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Iterable, Optional, Sequence, Union
 
 from .errors import QueryError
@@ -38,7 +48,10 @@ from .operators import (
     Filter,
     GroupByAggregate,
     HashJoin,
+    IndexKeysLookup,
     IndexLookup,
+    IndexNestedLoopJoin,
+    IndexRangeScan,
     LeftOuterJoin,
     Limit,
     NestedLoopJoin,
@@ -49,6 +62,7 @@ from .operators import (
     Sort,
     SortMergeJoin,
     TableScan,
+    explain_lines,
 )
 from .table import Table
 
@@ -122,6 +136,7 @@ class Query:
         self._limit: Optional[int] = None
         self._offset: int = 0
         self._distinct = False
+        self._graph: list[dict[str, Any]] = []
         if isinstance(source, str):
             self._base_table: Optional[Table] = database.table(source)
             self._base_rows: Optional[Iterable[RowDict]] = None
@@ -157,7 +172,7 @@ class Query:
         """
         if how not in ("inner", "left"):
             raise QueryError(f"unsupported join type {how!r}")
-        if algorithm not in ("hash", "merge", "nested"):
+        if algorithm not in ("hash", "merge", "nested", "index"):
             raise QueryError(f"unsupported join algorithm {algorithm!r}")
         self._joins.append(
             {
@@ -167,6 +182,45 @@ class Query:
                 "how": how,
                 "algorithm": algorithm,
                 "residual": residual,
+            }
+        )
+        return self
+
+    def descendants_of(
+        self,
+        column: str,
+        root: Any,
+        include_self: bool = False,
+        via: Optional[str] = None,
+    ) -> "Query":
+        """Keep rows whose *column* is a tree descendant of *root*.
+
+        Answered by an interval index: *via* names it explicitly,
+        otherwise it is resolved from the column (see
+        :func:`repro.minidb.planner.resolve_interval_index`).
+        """
+        self._graph.append(
+            {
+                "kind": "descendants",
+                "column": column,
+                "root": root,
+                "include_self": include_self,
+                "via": via,
+            }
+        )
+        return self
+
+    def reachable_from(
+        self, column: str, root: Any, via: Optional[str] = None
+    ) -> "Query":
+        """Keep rows whose *column* is graph-reachable from *root* (root included)."""
+        self._graph.append(
+            {
+                "kind": "reachable",
+                "column": column,
+                "root": root,
+                "include_self": True,
+                "via": via,
             }
         )
         return self
@@ -238,6 +292,14 @@ class Query:
     def run(self) -> list[RowDict]:
         return self.plan().to_list()
 
+    def explain(self) -> "ExplainResult":  # noqa: F821
+        """Render the plan tree this query would execute."""
+        from .planner import ExplainResult, planner_mode
+
+        return ExplainResult(
+            mode=planner_mode(), lines=tuple(explain_lines(self.plan()))
+        )
+
     def scalar(self) -> Any:
         """Run and return the single value of the single row (or None when empty)."""
         rows = self.run()
@@ -250,8 +312,12 @@ class Query:
     # -- internals --------------------------------------------------------------------
     def _base_plan(self) -> tuple[Operator, Optional[Expression]]:
         if self._base_table is None:
+            if self._graph:
+                raise QueryError("graph predicates need a table-backed base")
             base: Operator = RowSource(self._base_rows or [], self._base_alias)
             return base, self._predicate
+        if self._graph:
+            return self._graph_base_plan()
         # Only push an index access when the whole query is a single-table
         # block (joins change which conjuncts refer to the base table).
         if not self._joins:
@@ -264,6 +330,55 @@ class Query:
                 remaining = And(residual) if len(residual) > 1 else (residual[0] if residual else None)
                 return base, remaining
         return TableScan(self._base_table, self._base_alias), self._predicate
+
+    def _graph_base_plan(self) -> tuple[Operator, Optional[Expression]]:
+        """Access path for graph predicates: the first spec that can drive
+        the base becomes a window range scan (or an indexed id-set probe);
+        the rest degrade to membership filters."""
+        from .expressions import InSet
+        from .planner import point_index, resolve_interval_index
+
+        base: Optional[Operator] = None
+        filters: list[Expression] = []
+        for spec in self._graph:
+            table, index = resolve_interval_index(
+                self.database, spec["column"], spec["via"], label=f"{spec['kind']} query"
+            )
+            bare = spec["column"].split(".")[-1]
+            driving = (
+                base is None
+                and table.name == self._base_table.name
+                and bare == index.key_columns[0]
+            )
+            if driving:
+                base = IndexRangeScan(
+                    self._base_table,
+                    index.name,
+                    self._base_alias,
+                    mode="reachable" if spec["kind"] == "reachable" else "descendants",
+                    root=spec["root"],
+                    include_root=spec["include_self"],
+                )
+                continue
+            ids = (
+                index.reachable_ids(spec["root"])
+                if spec["kind"] == "reachable"
+                else index.descendant_ids(spec["root"], include_self=spec["include_self"])
+            )
+            if base is None and not self._joins:
+                probe_index = point_index(self._base_table, bare)
+                if probe_index is not None:
+                    base = IndexKeysLookup(
+                        self._base_table, probe_index, [(v,) for v in ids], self._base_alias
+                    )
+                    continue
+            filters.append(InSet(ColumnRef(spec["column"]), ids))
+        if base is None:
+            base = TableScan(self._base_table, self._base_alias)
+        parts = filters + ([self._predicate] if self._predicate is not None else [])
+        if not parts:
+            return base, None
+        return base, parts[0] if len(parts) == 1 else And(parts)
 
     def _apply_join(self, plan: Operator, join_spec: dict[str, Any]) -> Operator:
         other = join_spec["other"]
@@ -287,6 +402,22 @@ class Query:
         if join_spec["how"] == "left":
             return LeftOuterJoin(plan, right, left_keys, right_keys, right_columns, residual)
         algorithm = join_spec["algorithm"]
+        if algorithm == "index":
+            if not isinstance(other, str):
+                raise QueryError("index joins need a table-backed inner side")
+            target = tuple(r.split(".")[-1] for _, r in join_spec["on"])
+            from .planner import _inner_join_index
+
+            index_name = _inner_join_index(table, target)
+            if index_name is None:
+                raise QueryError(
+                    f"no index-nested-loop-safe index on {table.name!r} "
+                    f"covering {target!r} (need the primary key or an "
+                    "append-only secondary index)"
+                )
+            return IndexNestedLoopJoin(
+                plan, table, index_name, left_keys, alias or other, residual
+            )
         if algorithm == "merge":
             return SortMergeJoin(plan, right, left_keys, right_keys, residual)
         if algorithm == "nested":
@@ -297,3 +428,28 @@ class Query:
                 predicate_parts.append(residual)
             return NestedLoopJoin(plan, right, And(predicate_parts))
         return HashJoin(plan, right, left_keys, right_keys, residual)
+
+
+def legacy_scan_rows(table: Table, query: Optional[Query] = None) -> list[dict]:
+    """Deprecated analytics read path: a raw ``Table.scan()`` as row dicts.
+
+    Analytics code historically read whole tables with ``Table.scan()``
+    plus ``Schema.row_to_mapping`` and joined them in Python; the
+    supported read surface is now :meth:`Database.query` /
+    :meth:`Database.sql`.  This shim keeps the old call sites working —
+    with a :class:`DeprecationWarning` — and follows the
+    ``StorageConfig`` shim pattern: naming both the legacy *table* and a
+    new-style *query* is an error, not a silent preference.
+    """
+    if query is not None:
+        raise ValueError(
+            "pass either a table to scan (legacy) or a Query to run, not both"
+        )
+    warnings.warn(
+        "direct Table.scan() for analytics is deprecated; "
+        "use Database.query()/Database.sql() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    schema = table.schema
+    return [schema.row_to_mapping(row) for _rid, row in table.scan()]

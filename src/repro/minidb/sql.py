@@ -21,18 +21,25 @@ Supported statements::
     INSERT INTO table [(col, ...)] SELECT ...
     UPDATE table SET col = expr [, col = expr]... [WHERE predicate]
     DELETE FROM table [WHERE predicate]
+    EXPLAIN SELECT ...
 
 Expressions support the usual comparison operators, ``AND``/``OR``/``NOT``,
 arithmetic, ``IN (SELECT ...)``, ``IN (literal, ...)``, ``IS [NOT] NULL``,
 scalar subqueries ``(SELECT ...)``, named parameters ``:name``, and the
 functions ``exp``, ``log``, ``abs``, ``coalesce``, ``length``.  Aggregates
 (``count``, ``sum``, ``avg``, ``min``, ``max``) are allowed in the select
-list and HAVING clause of grouped queries.
+list and HAVING clause of grouped queries.  Three *graph predicates* —
+``descendant_of(col, root)``, ``in_subtree(col, root)`` and
+``reachable_from(col, root[, 'index_name'])`` — test membership against
+an interval index (:mod:`repro.minidb.intervals`) and become index range
+scans when they can drive the access path.
 
-Comma-separated FROM lists are executed as a chain of hash joins using the
-equality conjuncts of the WHERE clause that connect the tables (the style
-used by Figure 4's distillation SQL); remaining conjuncts are applied as a
-filter.
+Plan construction lives in :mod:`repro.minidb.planner`: comma-separated
+FROM lists join on the connecting equality conjuncts of the WHERE clause
+(the style used by Figure 4's distillation SQL), remaining conjuncts
+become filters, and in the default ``index`` planner mode eligible scans
+and hash joins are replaced by index probes.  ``EXPLAIN SELECT ...``
+returns the plan tree, one row per line.
 """
 
 from __future__ import annotations
@@ -55,21 +62,12 @@ from .expressions import (
     Not,
     Or,
 )
-from .operators import (
-    Aggregate,
-    Distinct,
-    Filter,
-    GroupByAggregate,
-    HashJoin,
-    Limit,
-    Operator,
-    Project,
-    RowDict,
-    Sort,
-    TableScan,
-)
+from .operators import Aggregate, RowDict
 
 _AGGREGATE_FUNCS = {"count", "sum", "avg", "min", "max"}
+
+#: WHERE-clause predicates answered by an interval index (see planner.py).
+_GRAPH_FUNCS = ("descendant_of", "in_subtree", "reachable_from")
 
 # ---------------------------------------------------------------------------
 # Tokenizer
@@ -155,6 +153,13 @@ class UpdateStatement:
 class DeleteStatement:
     table: str
     where: Optional["SqlExpr"]
+
+
+@dataclass
+class ExplainStatement:
+    """``EXPLAIN SELECT ...`` — render the plan instead of executing it."""
+
+    select: SelectStatement
 
 
 # SQL expression AST nodes (kept separate from runtime Expression so that
@@ -268,7 +273,14 @@ class _Parser:
 
     # -- statements ---------------------------------------------------------
     def parse_statement(self) -> Any:
-        keyword = self._accept_keyword("SELECT", "INSERT", "UPDATE", "DELETE", "WITH")
+        keyword = self._accept_keyword(
+            "SELECT", "INSERT", "UPDATE", "DELETE", "WITH", "EXPLAIN"
+        )
+        if keyword == "EXPLAIN":
+            inner = self.parse_statement()
+            if not isinstance(inner, SelectStatement):
+                raise SQLSyntaxError("EXPLAIN supports SELECT statements only")
+            return ExplainStatement(inner)
         if keyword == "SELECT":
             return self._parse_select_body()
         if keyword == "INSERT":
@@ -628,6 +640,14 @@ class _Compiler:
                 raise QueryError("scalar subquery must return one row with one column")
             return Literal(next(iter(rows[0].values())))
         if isinstance(node, SqlFunction):
+            if node.name in _GRAPH_FUNCS:
+                # Membership fallback: resolve the id set through the
+                # interval index.  When the predicate can drive the
+                # access path instead, the planner consumes it before
+                # it ever reaches a filter.
+                from .planner import compile_graph_function
+
+                return compile_graph_function(node, self.database, self)
             if node.name in _AGGREGATE_FUNCS:
                 if not allow_aggregates:
                     raise QueryError(f"aggregate {node.name!r} not allowed here")
@@ -691,148 +711,22 @@ def execute_select(
     database: "Database",  # noqa: F821
     statement: SelectStatement,
     parameters: Mapping[str, Any],
+    mode: Optional[str] = None,
 ) -> list[RowDict]:
-    """Execute a parsed SELECT statement and return its rows."""
-    compiler = _Compiler(database, parameters)
-    aliases = [alias for _, alias in statement.tables]
+    """Execute a parsed SELECT statement and return its rows.
 
-    # FROM clause: chain the tables with hash joins on connecting equality
-    # conjuncts; unconnected tables degrade to a cross product via a hash
-    # join with no keys (empty key tuple matches everything).
-    conjuncts = _split_where(statement.where)
-    used: set[int] = set()
-    plan: Operator = TableScan(database.table(statement.tables[0][0]), aliases[0])
-    joined_aliases = {aliases[0]}
-    for table_name, alias in statement.tables[1:]:
-        right: Operator = TableScan(database.table(table_name), alias)
-        left_keys: list[Expression] = []
-        right_keys: list[Expression] = []
-        for idx, conj in enumerate(conjuncts):
-            if idx in used or not isinstance(conj, SqlBinary) or conj.op != "=":
-                continue
-            if not isinstance(conj.left, SqlColumn) or not isinstance(conj.right, SqlColumn):
-                continue
-            left_table = _column_table(conj.left.name, aliases)
-            right_table = _column_table(conj.right.name, aliases)
-            # Unqualified columns: attribute them by schema membership.
-            def owner(column: SqlColumn, qualified: Optional[str]) -> Optional[str]:
-                if qualified is not None:
-                    return qualified
-                bare = column.name
-                owners = []
-                for t_name, t_alias in statement.tables:
-                    if bare in database.table(t_name).schema:
-                        owners.append(t_alias)
-                if len(owners) == 1:
-                    return owners[0]
-                if alias in owners and any(o in joined_aliases for o in owners):
-                    # Ambiguous but joinable: prefer pairing new alias with joined side.
-                    return alias if qualified is None else qualified
-                return owners[0] if owners else None
+    Plan construction is delegated to :func:`repro.minidb.planner.plan_select`
+    (imported lazily — the planner imports this module's AST).  The built
+    plan is recorded as ``database.last_plan`` before execution so cost
+    attribution and tests can inspect the access paths taken; subqueries
+    plan and run during the outer plan's construction, so ``last_plan``
+    always reflects the outermost statement.
+    """
+    from .planner import plan_select
 
-            lt = owner(conj.left, left_table)
-            rt = owner(conj.right, right_table)
-            if lt is None or rt is None:
-                continue
-            if lt in joined_aliases and rt == alias:
-                left_keys.append(compiler.compile(conj.left))
-                right_keys.append(compiler.compile(conj.right))
-                used.add(idx)
-            elif rt in joined_aliases and lt == alias:
-                left_keys.append(compiler.compile(conj.right))
-                right_keys.append(compiler.compile(conj.left))
-                used.add(idx)
-        plan = HashJoin(plan, right, left_keys, right_keys) if left_keys else HashJoin(
-            plan, right, [Literal(1)], [Literal(1)]
-        )
-        joined_aliases.add(alias)
-
-    remaining = [c for i, c in enumerate(conjuncts) if i not in used]
-    if remaining:
-        predicate = compiler.compile(remaining[0])
-        for conj in remaining[1:]:
-            predicate = And([predicate, compiler.compile(conj)])
-        plan = Filter(plan, predicate)
-
-    # SELECT list & grouping.
-    has_group = bool(statement.group_by)
-    has_aggregates = any(
-        item.expression is not None and _contains_aggregate(item.expression)
-        for item in statement.items
-    ) or (statement.having is not None and _contains_aggregate(statement.having))
-
-    outputs: list[tuple[str, Expression]] = []
-    star = any(item.is_star for item in statement.items)
-
-    if has_group or has_aggregates:
-        group_keys: list[tuple[str, Expression]] = []
-        group_names: list[tuple[SqlExpr, str]] = []
-        for i, group_expr in enumerate(statement.group_by):
-            name = _expr_name(group_expr, f"group_{i}")
-            group_keys.append((name, compiler.compile(group_expr)))
-            group_names.append((group_expr, name))
-        # Compile select items: aggregates register themselves on the compiler.
-        # A non-aggregate select item that textually matches a GROUP BY
-        # expression (e.g. ``floor(lastvisited / 60)``) is rewritten to
-        # reference the grouped output column, as SQL semantics require.
-        for i, item in enumerate(statement.items):
-            if item.is_star:
-                raise QueryError("SELECT * cannot be combined with GROUP BY/aggregates")
-            name = item.alias or _expr_name(item.expression, f"col_{i}")
-            matched = None
-            if not _contains_aggregate(item.expression):
-                for group_expr, group_name in group_names:
-                    if item.expression == group_expr:
-                        matched = ColumnRef(group_name)
-                        break
-            outputs.append(
-                (name, matched if matched is not None else compiler.compile(item.expression, allow_aggregates=True))
-            )
-        having_expr = (
-            compiler.compile(statement.having, allow_aggregates=True)
-            if statement.having is not None
-            else None
-        )
-        plan = GroupByAggregate(plan, group_keys, compiler.aggregates, having=None)
-        if having_expr is not None:
-            plan = Filter(plan, having_expr)
-        plan = Project(plan, outputs)
-    elif not star:
-        for i, item in enumerate(statement.items):
-            name = item.alias or _expr_name(item.expression, f"col_{i}")
-            outputs.append((name, compiler.compile(item.expression)))
-        plan = Project(plan, outputs)
-    # SELECT *: pass rows through (qualified + bare keys).
-
-    if statement.distinct:
-        plan = Distinct(plan)
-    if statement.order_by:
-        keys = []
-        for expr, asc in statement.order_by:
-            compiled: Optional[Expression] = None
-            if has_group or has_aggregates:
-                # ORDER BY may reference a GROUP BY expression or a select
-                # alias; both resolve against the post-projection row.
-                for item in statement.items:
-                    if not item.is_star and expr == item.expression:
-                        name = item.alias or _expr_name(item.expression, "")
-                        if name:
-                            compiled = ColumnRef(name)
-                        break
-                if compiled is None:
-                    for i, group_expr in enumerate(statement.group_by):
-                        if expr == group_expr:
-                            compiled = ColumnRef(_expr_name(group_expr, f"group_{i}"))
-                            break
-                if compiled is None and isinstance(expr, SqlFunction) and expr.name in _AGGREGATE_FUNCS:
-                    compiled = compiler.compile(expr, allow_aggregates=True)
-            if compiled is None:
-                compiled = compiler.compile(expr)
-            keys.append((compiled, asc))
-        plan = Sort(plan, keys)
-    if statement.limit is not None:
-        plan = Limit(plan, statement.limit)
-    return plan.to_list()
+    plan = plan_select(database, statement, parameters, mode=mode)
+    database.last_plan = plan
+    return plan.execute()
 
 
 def execute_sql(
@@ -849,6 +743,12 @@ def execute_sql(
     statement = parse_sql(text)
     if isinstance(statement, SelectStatement):
         return execute_select(database, statement, parameters)
+    if isinstance(statement, ExplainStatement):
+        from .planner import plan_select
+
+        plan = plan_select(database, statement.select, parameters)
+        database.last_plan = plan
+        return [{"plan": line} for line in plan.explain().lines]
     compiler = _Compiler(database, parameters)
     if isinstance(statement, InsertStatement):
         table = database.table(statement.table)

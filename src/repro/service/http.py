@@ -17,13 +17,21 @@ Routes (all JSON)::
     POST /jobs/{id}/resume            resume a paused job
     POST /jobs/{id}/cancel            cancel; terminal state "cancelled"
     GET  /jobs/{id}/harvest?window=N  harvest curve [[tick, rate], ...]
-    GET  /jobs/{id}/stats             io_snapshot + stage timings + pool stats
+    GET  /jobs/{id}/harvest?bucket=N  the same curve recomputed in the
+                                      database (the paper's GROUP BY
+                                      monitoring query), rows of
+                                      {bucket, avg_relevance, pages}
+    GET  /jobs/{id}/stats             io_snapshot + stage timings + pool
+                                      stats + a SQL-derived crawl census
+    GET  /jobs/{id}/query?sql=...     read-only SQL over the job's crawl
+                                      store (SELECT/EXPLAIN only;
+                                      ``limit=N`` caps rows, default 200)
     GET  /jobs/{id}/result            terminal summary incl. fetched_urls
                                       and relevance floats (determinism
                                       is checkable over the wire)
 
-Errors: unknown job -> 404, bad spec/illegal transition -> 400, both as
-``{"error": ...}`` bodies.
+Errors: unknown job -> 404, bad spec/illegal transition/mutation SQL ->
+400, both as ``{"error": ...}`` bodies.
 """
 
 from __future__ import annotations
@@ -99,10 +107,25 @@ class _CrawlRequestHandler(BaseHTTPRequestHandler):
         elif len(parts) == 2 and parts[0] == "jobs":
             self._dispatch(lambda: manager.progress(parts[1]))
         elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "harvest":
-            window = int(query.get("window", 100))
-            self._dispatch(
-                lambda: [list(point) for point in manager.harvest(parts[1], window)]
-            )
+            if "bucket" in query:
+                bucket = int(query["bucket"])
+                self._dispatch(lambda: manager.harvest_sql(parts[1], bucket))
+            else:
+                window = int(query.get("window", 100))
+                self._dispatch(
+                    lambda: [list(point) for point in manager.harvest(parts[1], window)]
+                )
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "query":
+
+            def run_query():
+                sql_text = query.get("sql")
+                if not sql_text:
+                    raise ValueError("missing required ?sql= parameter")
+                return manager.query(
+                    parts[1], sql_text, limit=int(query.get("limit", 200))
+                )
+
+            self._dispatch(run_query)
         elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "stats":
             self._dispatch(lambda: manager.stats(parts[1]))
         elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":

@@ -35,7 +35,10 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import JobSpec
 from repro.core.system import CrawlHandle, CrawlResult, FocusSystem, TERMINAL_STATUSES
+from repro.crawler.monitor import CrawlMonitor
 from repro.crawler.policies import FetchPolicy
+from repro.minidb import QueryError
+from repro.minidb.sql import ExplainStatement, SelectStatement, parse_sql
 
 from .pool import SharedFetchPool
 
@@ -218,15 +221,76 @@ class JobManager:
             return self._record(job_id).handle.harvest_series(window)
 
     def stats(self, job_id: str) -> dict:
-        """The job's I/O counters plus the shared pool's counters."""
+        """The job's I/O counters plus the shared pool's counters.
+
+        The ``crawl`` section (frontier/visited/relevance census) is read
+        from the job's database through the SQL query layer — the same
+        planner-driven path :meth:`query` exposes — and is omitted for
+        sharded jobs, which keep one database per shard.
+        """
         with self._lock:
             handle = self._record(job_id).handle
-            return {
+            stats = {
                 "io": handle.io_snapshot(),
                 "stage_timings": dict(handle.crawler.engine.stage_timings),
                 "pipeline": handle.pipeline_stats(),
                 "pool": self.pool.snapshot(),
             }
+            database = handle.database
+            if not getattr(database, "sharded", False) and not database.closed:
+                monitor = CrawlMonitor(database)
+                stats["crawl"] = {
+                    "frontier": monitor.frontier_size(),
+                    "visited": monitor.visited_count(),
+                    "average_relevance": monitor.average_relevance(),
+                }
+            return stats
+
+    def harvest_sql(self, job_id: str, bucket: int = 100) -> List[dict]:
+        """The harvest curve recomputed in the database (one GROUP BY query)."""
+        if bucket < 1:
+            raise ValueError("bucket must be >= 1")
+        with self._lock:
+            database = self._record(job_id).handle.database
+            self._require_queryable(database)
+            return CrawlMonitor(database).harvest_rate_by_bucket(bucket)
+
+    def query(self, job_id: str, sql: str, limit: int = 200) -> List[dict]:
+        """Run one read-only SELECT (or EXPLAIN SELECT) on the job's database.
+
+        Mutation statements (INSERT/UPDATE/DELETE) and syntax errors
+        raise :class:`ValueError`, which the HTTP layer maps to 400; the
+        result is truncated to *limit* rows.
+        """
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        with self._lock:
+            database = self._record(job_id).handle.database
+            self._require_queryable(database)
+            try:
+                statement = parse_sql(sql)
+            except QueryError as exc:
+                raise ValueError(str(exc)) from None
+            if not isinstance(statement, (SelectStatement, ExplainStatement)):
+                raise ValueError(
+                    "read-only endpoint: only SELECT (or EXPLAIN SELECT) "
+                    "statements are accepted"
+                )
+            try:
+                rows = database.sql(sql)
+            except QueryError as exc:
+                raise ValueError(str(exc)) from None
+            return rows[:limit]
+
+    @staticmethod
+    def _require_queryable(database) -> None:
+        if getattr(database, "sharded", False):
+            raise ValueError(
+                "sharded jobs keep one database per shard; open the shard "
+                "databases under the checkpoint directory instead"
+            )
+        if database.closed:
+            raise ValueError("this job's database handle is closed")
 
     def result_summary(self, job_id: str) -> dict:
         """The cached JSON-safe result of a terminal job."""

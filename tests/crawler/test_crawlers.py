@@ -164,6 +164,26 @@ class TestMonitor:
         assert 0.0 <= monitor.average_relevance() <= 1.0
         assert 0.0 <= monitor.average_relevance(last_n_ticks=50) <= 1.0
 
+    def test_subtree_census_covers_whole_tree(self, focused_run, taxonomy):
+        _, database, trace, _ = focused_run
+        monitor = CrawlMonitor(database)
+        root = database.sql("select kcid from TAXONOMY where pcid is null")[0]["kcid"]
+        census = monitor.subtree_census(root)
+        # The root subtree holds every visited page; a leaf subtree a slice.
+        assert census["pages"] == trace.pages_fetched
+        assert 0.0 <= census["avg_relevance"] <= 1.0
+        children = database.sql(
+            "select kcid from TAXONOMY where pcid = :root", {"root": root}
+        )
+        child_total = sum(
+            monitor.subtree_census(row["kcid"])["pages"] for row in children
+        )
+        at_root = database.sql(
+            "select count(*) n from CRAWL where status = 'visited' and kcid = :root",
+            {"root": root},
+        )[0]["n"]
+        assert child_total == census["pages"] - at_root
+
     def test_stagnation_report_fields(self, focused_run):
         _, database, _, _ = focused_run
         report = CrawlMonitor(database).diagnose_stagnation(relevance_floor=0.01)

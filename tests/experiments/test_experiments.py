@@ -6,6 +6,7 @@ crawling, measurement, report printing — is exercised in the unit-test
 suite within a few tens of seconds.
 """
 
+import numpy as np
 import pytest
 
 from repro.experiments import fig5_harvest, fig6_coverage, fig7_distance, fig8_io, workloads
@@ -58,6 +59,25 @@ class TestFig6:
         coverages = [p.url_coverage for p in result.points]
         assert coverages == sorted(coverages)
         assert fig6_coverage.print_report(result)
+
+    def test_db_reference_set_equals_trace_reference_set(self, tiny_workload):
+        # The experiment reads the relevant set from the CRAWL table; the
+        # trace-walk twin must produce the exact same URLs (visit-time
+        # relevance is what the store records).
+        from repro.core import metrics
+
+        result = fig6_coverage.run_coverage_experiment(
+            workload=tiny_workload, reference_pages=150, test_pages=60, seed_size=10
+        )
+        threshold = float(np.exp(-1.0))
+        from_trace = metrics.relevant_reference_set(
+            result.reference_result.trace, threshold
+        )
+        from_db = metrics.relevant_reference_set_db(
+            result.reference_result.database, threshold
+        )
+        assert from_db == from_trace
+        assert len(from_db) == result.reference_relevant_urls
 
 
 class TestFig7:

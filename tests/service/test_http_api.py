@@ -3,6 +3,7 @@
 import json
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 
 import pytest
@@ -86,9 +87,15 @@ class TestEndpoints:
         assert all(len(point) == 2 for point in harvest)
 
         stats = call(f"{base}/jobs/{job_id}/stats")
-        assert set(stats) == {"io", "stage_timings", "pipeline", "pool"}
+        assert set(stats) == {"io", "stage_timings", "pipeline", "pool", "crawl"}
         assert stats["pipeline"]["frontier"]["heap_size"] >= 0
         assert "stale_ratio" in stats["pipeline"]["prefetch"]
+        assert stats["crawl"]["visited"] == 60
+        assert stats["crawl"]["average_relevance"] > 0
+
+        buckets = call(f"{base}/jobs/{job_id}/harvest?bucket=20")
+        assert sum(row["pages"] for row in buckets) == 60
+        assert all(set(row) == {"bucket", "avg_relevance", "pages"} for row in buckets)
 
         listing = call(f"{base}/jobs")
         assert [job["id"] for job in listing] == [job_id]
@@ -132,6 +139,72 @@ class TestEndpoints:
         assert cancelled["status"] == "cancelled"
         result = call(f"{base}/jobs/{job_id}/result")
         assert result["status"] == "cancelled"
+
+
+class TestQueryEndpoint:
+    """Read-only SQL over the wire: ``GET /jobs/{id}/query?sql=...``."""
+
+    @pytest.fixture()
+    def finished_job(self, service):
+        base = service.url
+        job_id = call(
+            f"{base}/jobs", JobSpec(max_pages=60, fetch_failure_seed=3).to_dict()
+        )["id"]
+        wait_for_status(base, job_id, ("completed",))
+        return base, job_id
+
+    def query_url(self, base, job_id, sql, **extra):
+        params = {"sql": sql, **extra}
+        return f"{base}/jobs/{job_id}/query?{urllib.parse.urlencode(params)}"
+
+    def test_select_over_the_wire(self, finished_job):
+        base, job_id = finished_job
+        rows = call(
+            self.query_url(
+                base,
+                job_id,
+                "select count(*) n from CRAWL where status = 'visited'",
+            )
+        )
+        assert rows == [{"n": 60}]
+
+    def test_graph_predicate_and_explain(self, finished_job):
+        base, job_id = finished_job
+        root = call(
+            self.query_url(
+                base, job_id, "select kcid from TAXONOMY where pcid is null"
+            )
+        )[0]["kcid"]
+        sql = f"select count(*) n from TAXONOMY where in_subtree(kcid, {root})"
+        rows = call(self.query_url(base, job_id, sql))
+        assert rows[0]["n"] >= 1
+        plan = call(self.query_url(base, job_id, f"explain {sql}"))
+        assert any("IndexRangeScan" in row["plan"] for row in plan)
+
+    def test_row_limit_applies(self, finished_job):
+        base, job_id = finished_job
+        rows = call(self.query_url(base, job_id, "select oid from CRAWL", limit=7))
+        assert len(rows) == 7
+
+    def test_mutation_statements_are_400(self, finished_job):
+        base, job_id = finished_job
+        for sql in (
+            "delete from CRAWL",
+            "update CRAWL set status = 'visited'",
+            "insert into CRAWL (oid) values (1)",
+        ):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                call(self.query_url(base, job_id, sql))
+            assert excinfo.value.code == 400, sql
+
+    def test_missing_and_malformed_sql_are_400(self, finished_job):
+        base, job_id = finished_job
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            call(f"{base}/jobs/{job_id}/query")
+        assert excinfo.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            call(self.query_url(base, job_id, "select from from"))
+        assert excinfo.value.code == 400
 
 
 class TestErrors:
