@@ -33,6 +33,12 @@ Crawl as a service::
 
     with CrawlService(JobManager(system)) as service:
         ...  # POST JobSpec.to_dict() to http://127.0.0.1:{service.port}/jobs
+
+Record a real-web crawl once, replay it deterministically forever::
+
+    # First run records every fetch into the cassette; later runs
+    # (cassette_mode="auto") replay it with no network stack at all.
+    result = system.start(JobSpec(cassette_path="crawl.jsonl")).run()
 """
 
 from .core.checkpoint import CheckpointManager, CoordinatorManifest, CrawlCheckpoint
@@ -47,11 +53,21 @@ from .crawler.sharded import ShardedCrawler, build_sharded_crawler
 from .experiments.workloads import build_crawl_workload
 from .minidb import Database, ExplainResult, Plan, Query, StorageConfig
 from .service import CrawlService, JobManager, SharedFetchPool, serve
+from .webgraph.cassette import (
+    CassetteError,
+    CassetteMismatch,
+    RecordingTransport,
+    ReplayTransport,
+    lint_cassette,
+)
 from .webgraph.graph import WebConfig
+from .webgraph.transport import HttpTransport, TransportUnavailable
 
 __version__ = "0.1.0"
 
 __all__ = [
+    "CassetteError",
+    "CassetteMismatch",
     "CheckpointManager",
     "CoordinatorManifest",
     "CrawlCheckpoint",
@@ -67,17 +83,22 @@ __all__ = [
     "FetchPolicy",
     "FocusConfig",
     "FocusSystem",
+    "HttpTransport",
     "JobManager",
     "JobSpec",
     "Plan",
     "Query",
+    "RecordingTransport",
+    "ReplayTransport",
     "ShardedCrawler",
     "SharedFetchPool",
     "StorageConfig",
+    "TransportUnavailable",
     "WebConfig",
     "build_crawl_workload",
     "build_sharded_crawler",
     "create_focus_database",
+    "lint_cassette",
     "serve",
     "__version__",
 ]

@@ -109,6 +109,11 @@ class JobSpec:
     #: burns its fetch budget on failures stops even though its page
     #: budget is unmet.
     fetch_budget: int = 0
+    #: Fetch cassette (``webgraph.cassette``): empty disables; set, the
+    #: job records its fetches into this file or replays it.
+    cassette_path: str = ""
+    #: "record", "replay", or "auto" (replay iff the file exists).
+    cassette_mode: str = "auto"
     #: Optional display name (shows up in service listings).
     name: str = ""
 
@@ -123,6 +128,10 @@ class JobSpec:
             raise ValueError("max_pages must be >= 1 (or None for the config default)")
         if self.fetch_budget < 0:
             raise ValueError("fetch_budget must be >= 0 (0 = unlimited)")
+        if self.cassette_mode not in ("auto", "record", "replay"):
+            raise ValueError(
+                f"cassette_mode must be 'auto', 'record', or 'replay', got {self.cassette_mode!r}"
+            )
 
     def replace(self, **overrides: Any) -> "JobSpec":
         return dataclasses.replace(self, **overrides)
@@ -139,6 +148,8 @@ class JobSpec:
             "crawler": _crawler_to_dict(self.crawler) if self.crawler is not None else None,
             "storage": self.storage.to_dict() if self.storage is not None else None,
             "fetch_budget": self.fetch_budget,
+            "cassette_path": self.cassette_path,
+            "cassette_mode": self.cassette_mode,
             "name": self.name,
         }
 

@@ -216,8 +216,16 @@ class CrawlHandle:
         return self.trace.pages_fetched
 
     def fetch_attempts(self) -> int:
-        """Total fetch attempts so far (successes, 404s, and failures)."""
-        stats = getattr(self.crawler.fetcher, "stats", None)
+        """Total fetch attempts so far (successes, 404s, skips, and failures).
+
+        Read from the engine's transport (the whole I/O stack: http or
+        replay transports never touch the simulated fetcher), falling
+        back to the bare fetcher for crawler shapes without one engine.
+        """
+        engine = getattr(self.crawler, "engine", None)
+        stats = getattr(getattr(engine, "transport", None), "stats", None)
+        if stats is None:
+            stats = getattr(self.crawler.fetcher, "stats", None)
         return stats.attempts if stats is not None else 0
 
     @property
@@ -288,9 +296,18 @@ class CrawlHandle:
         self._finish("cancelled")
 
     def close(self) -> None:
-        """Release the job's database handle (the result can reopen durable ones)."""
+        """Release the job's database handle and fetch transport.
+
+        The result can reopen durable databases; closing the transport
+        flushes a recording cassette and releases any shared HTTP
+        session/connections.
+        """
         if not self.database.closed:
             self.database.close()
+        transport = getattr(getattr(self.crawler, "engine", None), "transport", None)
+        transport_close = getattr(transport, "close", None)
+        if callable(transport_close):
+            transport_close()
 
     # -- observability ---------------------------------------------------------------
     def progress(self) -> dict:
@@ -509,6 +526,9 @@ class FocusSystem:
             config.max_pages = spec.max_pages
         if spec.storage is not None:
             config.storage = spec.storage
+        if getattr(spec, "cassette_path", ""):
+            config.cassette_path = spec.cassette_path
+            config.cassette_mode = spec.cassette_mode
         if getattr(config, "engine", "auto") == "sharded":
             return self._start_sharded(
                 spec,

@@ -63,7 +63,8 @@ from repro.minidb.pages import RecordId
 from repro.minidb.table import Table
 from repro.taxonomy.tree import TopicTaxonomy
 from repro.webgraph.fetch import Fetcher, FetchResult, FetchStatus
-from repro.webgraph.transport import FetchTransport, build_transport
+from repro.webgraph.cassette import transport_for_config
+from repro.webgraph.transport import FetchTransport
 from repro.webgraph.urls import host_of, normalize_url, server_sid, url_oid
 
 from .frontier import Frontier, FrontierEntry
@@ -189,6 +190,17 @@ class CrawlerConfig:
     #: Keyword options for the transport (see ``webgraph.transport``);
     #: plain data so the choice rides along inside crawl checkpoints.
     transport_options: dict = field(default_factory=dict)
+    #: Path of a fetch cassette (see ``webgraph.cassette``).  Empty
+    #: disables cassettes; set, the crawl either records every fetch
+    #: into the file or replays it, per ``cassette_mode``.
+    cassette_path: str = ""
+    #: "record", "replay", or "auto" (replay when the file exists,
+    #: record otherwise).  The resolved mode is persisted back here at
+    #: engine build time so checkpoints resume in the same mode.
+    cassette_mode: str = "auto"
+    #: Strict replay raises CassetteMismatch on any request the cassette
+    #: does not hold; non-strict degrades misses to NOT_FOUND.
+    cassette_strict: bool = True
     #: Engine mode: "auto" picks "batched" when batch_size > 1, else "serial".
     #: "sharded" partitions the crawl by host hash over N workers (see
     #: ``shards``); drive it through :meth:`FocusSystem.start`, which
@@ -410,9 +422,10 @@ class CrawlEngine:
             raise ValueError("checkpoint_interval_s must be >= 0")
         self.fetcher = fetcher
         #: The fetch I/O layer; built from config unless injected (tests).
-        self.transport: FetchTransport = transport or build_transport(
-            config.transport, fetcher, config.transport_options
-        )
+        #: Cassette-aware: a ``cassette_path`` wraps the configured
+        #: transport in a recorder, or replays an existing cassette with
+        #: no inner transport at all.
+        self.transport: FetchTransport = transport or transport_for_config(config, fetcher)
         #: Validates the inflight knobs eagerly (FetchPolicy raises on
         #: negatives) and is reused by every async round.
         self.fetch_policy = FetchPolicy(
@@ -717,12 +730,12 @@ class CrawlEngine:
         started = time.perf_counter()
         result = self.transport.fetch(url)
         self.stage_timings["fetch"] += time.perf_counter() - started
-        if result.status is FetchStatus.NOT_FOUND:
-            self.frontier.record_failure(url, self.config.max_retries, permanent=True)
-            self.trace.failed_urls.append(url)
-            return False
-        if result.status is FetchStatus.SERVER_ERROR:
-            self.frontier.record_failure(url, self.config.max_retries)
+        if result.status is not FetchStatus.OK:
+            # SERVER_ERROR is transient (retry in a later round); every
+            # other non-OK status — NOT_FOUND, SKIPPED (robots, redirect
+            # cap/loop, content gate) — is permanent.
+            permanent = result.status is not FetchStatus.SERVER_ERROR
+            self.frontier.record_failure(url, self.config.max_retries, permanent=permanent)
             self.trace.failed_urls.append(url)
             return False
 
@@ -851,7 +864,7 @@ class CrawlEngine:
                 fetched.append((url, result))
                 self._stagnation_misses = 0
                 continue
-            permanent = result.status is FetchStatus.NOT_FOUND
+            permanent = result.status is not FetchStatus.SERVER_ERROR
             self.frontier.record_failure(url, config.max_retries, permanent=permanent)
             self.trace.failed_urls.append(url)
             self._stagnation_misses += 1

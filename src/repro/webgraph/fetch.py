@@ -32,6 +32,7 @@ class FetchStatus(enum.Enum):
     OK = "ok"
     NOT_FOUND = "not_found"      # dead link / page does not exist
     SERVER_ERROR = "server_error"  # transient failure, retry may succeed
+    SKIPPED = "skipped"          # permanently refused: robots, redirect cap/loop, content gate
 
 
 @dataclass
@@ -44,6 +45,9 @@ class FetchResult:
     out_links: list[str] = field(default_factory=list)
     server: str = ""
     latency_ms: float = 0.0
+    #: Machine-readable reason for non-OK outcomes (e.g. ``"robots"``,
+    #: ``"redirect-loop"``, ``"content-type"``); empty for OK fetches.
+    detail: str = ""
 
     @property
     def ok(self) -> bool:
@@ -67,6 +71,7 @@ class FetchStats:
     not_found: int = 0
     server_errors: int = 0
     total_latency_ms: float = 0.0
+    skipped: int = 0
 
     def record(self, result: FetchResult) -> None:
         self.attempts += 1
@@ -75,6 +80,8 @@ class FetchStats:
             self.successes += 1
         elif result.status is FetchStatus.NOT_FOUND:
             self.not_found += 1
+        elif result.status is FetchStatus.SKIPPED:
+            self.skipped += 1
         else:
             self.server_errors += 1
 

@@ -26,8 +26,16 @@ Three transports are provided:
   fetch/compute overlap is measurable without touching a network.  All
   of its draws also happen at ``prepare`` time, so latency crawls are
   reproducible across serial, threaded, and async execution.
-* :class:`HttpTransport` — an asyncio real-network transport (stub)
-  behind an import guard on the optional ``aiohttp`` dependency.
+* :class:`HttpTransport` — the real-network fetcher: robots.txt
+  honoring with a TTL cache, manual redirect following with hop cap and
+  loop detection, content-type/size gating, retry/backoff whose jitter
+  is drawn in ``prepare``, and one shared client session per transport.
+  The session backend is pluggable: ``aiohttp`` when the optional
+  dependency is installed, a stdlib ``urllib`` opener otherwise.
+
+The cassette record/replay layer that makes real-network crawls
+CI-deterministic lives in :mod:`repro.webgraph.cassette` and wraps any
+of these transports.
 """
 
 from __future__ import annotations
@@ -35,7 +43,8 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
-from dataclasses import asdict, dataclass
+import urllib.request
+from dataclasses import asdict, dataclass, field
 from typing import Dict, Optional, Protocol, runtime_checkable
 
 import numpy as np
@@ -66,6 +75,10 @@ class PendingFetch:
     result: Optional[FetchResult] = None
     delay_s: float = 0.0
     attempts: int = 1
+    #: Pre-drawn retry backoff delays (seconds), one per potential retry.
+    #: Drawn inside ``prepare`` so the jitter stream advances in checkout
+    #: order regardless of completion interleaving.
+    backoffs: list[float] = field(default_factory=list)
 
 
 @runtime_checkable
@@ -266,14 +279,189 @@ class LatencyTransport:
         self.timeouts = state["timeouts"]
 
 
-class HttpTransport:
-    """Asyncio real-network transport (stub) for crawling actual HTTP servers.
+@dataclass
+class HttpResponse:
+    """One raw HTTP exchange as the session backends report it.
 
-    Import-guarded on the optional ``aiohttp`` dependency: constructing
-    one without it raises :class:`TransportUnavailable` with an install
-    hint instead of an import error at module load.  Real fetches are
-    inherently non-deterministic, so checkpoints carry only counters —
-    a resumed HTTP crawl re-fetches live content.
+    ``headers`` keys are lower-cased; ``body`` is capped at the byte
+    budget the caller passed (one extra byte is read so oversize bodies
+    are detectable without buffering them).
+    """
+
+    status: int
+    headers: Dict[str, str]
+    body: bytes
+    url: str
+
+
+class _StdlibNoRedirect(urllib.request.HTTPRedirectHandler):
+    """Refuse automatic redirects: 3xx surfaces as an HTTPError response."""
+
+    def redirect_request(self, req, fp, code, msg, headers, newurl):
+        return None
+
+
+class StdlibSessionBackend:
+    """A dependency-free HTTP session over ``urllib`` in a thread executor.
+
+    One redirect-disabled ``OpenerDirector`` plays the role of the shared
+    client session: it is loop-independent, so a crawl that runs one
+    asyncio loop per round (the engine's non-prefetch async mode) still
+    reuses the same opener for its whole lifetime.  Local fixture-server
+    tests and environments without ``aiohttp`` run on this backend.
+    """
+
+    name = "stdlib"
+
+    def __init__(self) -> None:
+        import urllib.error
+
+        self._opener = urllib.request.build_opener(_StdlibNoRedirect())
+        self.sessions_created = 1
+        self.requests = 0
+        self.error_types: tuple = (urllib.error.URLError, TimeoutError, OSError)
+
+    async def get(
+        self, url: str, headers: Dict[str, str], timeout_s: float, max_bytes: int
+    ) -> HttpResponse:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, self._get_sync, url, headers, timeout_s, max_bytes
+        )
+
+    def _get_sync(
+        self, url: str, headers: Dict[str, str], timeout_s: float, max_bytes: int
+    ) -> HttpResponse:
+        import urllib.error
+
+        self.requests += 1
+        request = urllib.request.Request(url, headers=headers)
+        try:
+            response = self._opener.open(request, timeout=timeout_s)
+        except urllib.error.HTTPError as exc:
+            # Non-2xx (including the redirects our handler refused): the
+            # error object *is* the response.
+            response = exc
+        with response:
+            body = response.read(max_bytes + 1)
+            status = getattr(response, "status", None)
+            if status is None:
+                status = getattr(response, "code", 0)
+            return HttpResponse(
+                status=int(status),
+                headers={k.lower(): v for k, v in response.headers.items()},
+                body=body,
+                url=url,
+            )
+
+    async def close(self) -> None:
+        self._opener.close()
+
+
+class AiohttpSessionBackend:
+    """The ``aiohttp`` session backend: one shared ``ClientSession``.
+
+    The session is created lazily on first use and reused for every
+    subsequent request on the same event loop — the PR-10 bugfix for the
+    stub's session-per-fetch.  aiohttp sessions are bound to the loop
+    they were created on, and the engine's non-prefetch async mode runs
+    one ``asyncio.run`` per round; when the running loop changes, the
+    stale session is closed (best effort) and one new session is built
+    for the new loop — per *round*, never per fetch.
+    """
+
+    name = "aiohttp"
+
+    def __init__(self, aiohttp_module) -> None:
+        self._aiohttp = aiohttp_module
+        self._session = None
+        self._loop = None
+        self.sessions_created = 0
+        self.requests = 0
+        self.error_types = (aiohttp_module.ClientError, asyncio.TimeoutError, OSError)
+
+    async def _session_for_loop(self):
+        loop = asyncio.get_running_loop()
+        session = self._session
+        if session is not None and not session.closed and self._loop is loop:
+            return session
+        if session is not None and not session.closed:
+            try:
+                await session.close()
+            except Exception:  # pragma: no cover - cross-loop teardown is best effort
+                pass
+        self._session = self._aiohttp.ClientSession()
+        self._loop = loop
+        self.sessions_created += 1
+        return self._session
+
+    async def get(
+        self, url: str, headers: Dict[str, str], timeout_s: float, max_bytes: int
+    ) -> HttpResponse:
+        session = await self._session_for_loop()
+        self.requests += 1
+        timeout = self._aiohttp.ClientTimeout(total=timeout_s)
+        async with session.get(
+            url, headers=headers, timeout=timeout, allow_redirects=False
+        ) as response:
+            body = await response.content.read(max_bytes + 1)
+            return HttpResponse(
+                status=response.status,
+                headers={k.lower(): v for k, v in response.headers.items()},
+                body=bytes(body),
+                url=str(response.url),
+            )
+
+    async def close(self) -> None:
+        session, self._session = self._session, None
+        if session is not None and not session.closed:
+            await session.close()
+
+
+@dataclass
+class _RobotsEntry:
+    """One host's cached robots.txt verdict machine, with its fetch time."""
+
+    parser: object
+    fetched_at: float
+
+
+#: Default MIME types the fetcher will parse; everything else is gated.
+DEFAULT_CONTENT_TYPES = ("text/html", "application/xhtml+xml")
+
+
+class HttpTransport:
+    """The real-network transport: a production HTTP fetcher.
+
+    What the stub grew into (PR 10):
+
+    * **one shared session** per transport (``backend="aiohttp"`` needs
+      the optional dependency; ``backend="stdlib"`` works everywhere;
+      ``"auto"`` prefers aiohttp when importable), with an explicit
+      :meth:`close`;
+    * **robots.txt**: fetched once per host through the same session,
+      cached with a TTL, and honoured (disallowed URLs come back
+      ``SKIPPED``/``robots`` without touching the page);
+    * **redirect chains**: followed manually up to ``max_redirects``
+      hops with loop detection — a cap overrun or revisit refuses the
+      URL (``SKIPPED``/``redirect-cap`` or ``redirect-loop``) instead of
+      spinning;
+    * **content gating**: only ``allowed_content_types`` bodies up to
+      ``max_content_bytes`` are parsed; others are ``SKIPPED``;
+    * **timeout/retry/backoff**: transient errors and 5xx retry up to
+      ``max_retries`` times with exponential backoff whose jitter factors
+      are **drawn in** :meth:`prepare` from a seeded generator — in
+      checkout order, the determinism contract the async pipeline (and
+      the cassette layer) rests on;
+    * **per-host politeness**: ``per_host_delay_s`` spaces requests to
+      one host; in-flight caps stay with the engine's
+      :class:`~repro.crawler.policies.FetchPolicy` seam (PR 4).
+
+    ``order_sensitive`` is False: real fetches carry no shared simulated
+    draw stream the thread pool could scramble (the backoff draws only
+    shape wall-clock timing, never content).  Wrap the transport in a
+    :class:`~repro.webgraph.cassette.RecordingTransport` to make a live
+    crawl replayable; checkpoints carry counters plus the RNG position.
     """
 
     order_sensitive = False
@@ -284,102 +472,374 @@ class HttpTransport:
         max_retries: int = 1,
         user_agent: str = "repro-focused-crawler/0.2 (+research reproduction)",
         max_links: int = 500,
+        backend: str = "auto",
+        max_redirects: int = 5,
+        max_content_bytes: int = 2 * 1024 * 1024,
+        allowed_content_types: tuple = DEFAULT_CONTENT_TYPES,
+        honor_robots: bool = True,
+        robots_ttl_s: float = 3600.0,
+        retry_backoff_s: float = 0.25,
+        retry_jitter: float = 0.5,
+        per_host_delay_s: float = 0.0,
+        seed: int = 0,
+        clock=None,
     ) -> None:
-        try:
-            import aiohttp
-        except ImportError as exc:  # pragma: no cover - exercised via the guard test
-            raise TransportUnavailable(
-                "HttpTransport needs the optional aiohttp dependency; "
-                "install it with `pip install repro-focused-crawler[http]`"
-            ) from exc
-        self._aiohttp = aiohttp
+        if backend not in ("auto", "aiohttp", "stdlib"):
+            raise ValueError(f"unknown http backend {backend!r}; expected auto/aiohttp/stdlib")
+        if max_redirects < 0 or max_retries < 0:
+            raise ValueError("max_redirects and max_retries must be >= 0")
+        if timeout_s <= 0 or max_content_bytes <= 0:
+            raise ValueError("timeout_s and max_content_bytes must be positive")
         self.timeout_s = timeout_s
         self.max_retries = max_retries
         self.user_agent = user_agent
         self.max_links = max_links
+        self.max_redirects = max_redirects
+        self.max_content_bytes = max_content_bytes
+        self.allowed_content_types = tuple(ct.lower() for ct in allowed_content_types)
+        self.honor_robots = honor_robots
+        self.robots_ttl_s = robots_ttl_s
+        self.retry_backoff_s = retry_backoff_s
+        self.retry_jitter = retry_jitter
+        self.per_host_delay_s = per_host_delay_s
+        self._clock = clock or time.monotonic
+        self._backend = self._build_backend(backend)
         self.stats = FetchStats()
         self._stats_lock = threading.Lock()
+        self._rng = np.random.default_rng(seed)
+        self._rng_lock = threading.Lock()
+        self._robots_cache: Dict[str, _RobotsEntry] = {}
+        self._robots_locks: Dict[str, asyncio.Lock] = {}
+        self._next_request_at: Dict[str, float] = {}
+        self._host_lock = threading.Lock()
+        #: Observability hook: when set, robots / redirect / error events
+        #: are reported as plain dicts (the cassette recorder hangs here).
+        self.events = None
+        self.robots_fetches = 0
+        self.redirects_followed = 0
+        #: Loop owned by the synchronous fetch() path, so serial crawls
+        #: reuse one session too (created lazily, released by close()).
+        #: The lock keeps the threaded fetch stage correct — concurrent
+        #: sync fetches serialise on the one loop; use the async engine
+        #: mode for real fetch concurrency.
+        self._own_loop: Optional[asyncio.AbstractEventLoop] = None
+        self._own_loop_lock = threading.Lock()
 
-    def fetch(self, url: str) -> FetchResult:  # pragma: no cover - network
-        return asyncio.run(self.wait(self.prepare(url)))
+    @staticmethod
+    def _build_backend(backend: str):
+        aiohttp_module = None
+        if backend in ("auto", "aiohttp"):
+            try:
+                import aiohttp as aiohttp_module
+            except ImportError as exc:
+                if backend == "aiohttp":
+                    raise TransportUnavailable(
+                        "HttpTransport(backend='aiohttp') needs the optional aiohttp "
+                        "dependency; install it with `pip install "
+                        "repro-focused-crawler[http]` or use backend='stdlib'"
+                    ) from exc
+        if aiohttp_module is not None:
+            return AiohttpSessionBackend(aiohttp_module)
+        return StdlibSessionBackend()
+
+    @property
+    def backend_name(self) -> str:
+        return self._backend.name
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Release the shared session/connections (idempotent, sync-only)."""
+        backend, self._backend = self._backend, None
+        loop, self._own_loop = self._own_loop, None
+        if backend is not None:
+            runner = loop if loop is not None and not loop.is_closed() else None
+            if runner is not None:
+                runner.run_until_complete(backend.close())
+            else:
+                asyncio.run(backend.close())
+        if loop is not None and not loop.is_closed():
+            loop.close()
+
+    async def aclose(self) -> None:
+        backend, self._backend = self._backend, None
+        if backend is not None:
+            await backend.close()
+
+    def _require_backend(self):
+        if self._backend is None:
+            raise RuntimeError("HttpTransport is closed")
+        return self._backend
+
+    # -- FetchTransport ----------------------------------------------------
+    def fetch(self, url: str) -> FetchResult:
+        # One private loop for the sync path: the shared session (aiohttp
+        # binds sessions to a loop) survives across serial fetches.
+        pending = self.prepare(url)
+        with self._own_loop_lock:
+            if self._own_loop is None or self._own_loop.is_closed():
+                self._own_loop = asyncio.new_event_loop()
+            return self._own_loop.run_until_complete(self.wait(pending))
 
     def prepare(self, url: str) -> PendingFetch:
-        # No draws, no I/O: the request is issued inside wait() so the
-        # engine's max_inflight gate bounds real connection concurrency.
-        return PendingFetch(url=url)
+        # The only draws of this transport happen HERE, synchronously, in
+        # checkout order: the jitter factors of every potential retry
+        # backoff.  wait() performs the actual I/O, so the engine's
+        # max_inflight gate bounds real connection concurrency.
+        pending = PendingFetch(url=url)
+        with self._rng_lock:
+            pending.backoffs = [
+                self.retry_backoff_s
+                * (2.0**index)
+                * (1.0 + self.retry_jitter * float(self._rng.random()))
+                for index in range(self.max_retries)
+            ]
+        return pending
 
-    async def wait(self, pending: PendingFetch) -> FetchResult:  # pragma: no cover - network
-        aiohttp = self._aiohttp
-        url = pending.url
+    async def wait(self, pending: PendingFetch) -> FetchResult:
+        url = normalize_url(pending.url)
+        host = host_of(url)
         started = time.perf_counter()
-        last_error: Optional[BaseException] = None
-        for attempt in range(self.max_retries + 1):
-            pending.attempts = attempt + 1
-            try:
-                timeout = aiohttp.ClientTimeout(total=self.timeout_s)
-                headers = {"User-Agent": self.user_agent}
-                async with aiohttp.ClientSession(timeout=timeout, headers=headers) as session:
-                    async with session.get(url) as response:
-                        if response.status == 404:
-                            return self._record(
-                                FetchResult(
-                                    url=url,
-                                    status=FetchStatus.NOT_FOUND,
-                                    server=host_of(url),
-                                    latency_ms=(time.perf_counter() - started) * 1000.0,
-                                )
-                            )
-                        if response.status >= 400:
-                            last_error = RuntimeError(f"HTTP {response.status}")
-                            continue
-                        text = await response.text()
-                        tokens, links = parse_html(text, base_url=url, max_links=self.max_links)
-                        return self._record(
-                            FetchResult(
-                                url=url,
-                                status=FetchStatus.OK,
-                                tokens=tokens,
-                                out_links=links,
-                                server=host_of(url),
-                                latency_ms=(time.perf_counter() - started) * 1000.0,
-                            )
-                        )
-            except (aiohttp.ClientError, asyncio.TimeoutError) as exc:
-                last_error = exc
-        del last_error  # transient detail; the status carries the outcome
-        return self._record(
-            FetchResult(
-                url=url,
-                status=FetchStatus.SERVER_ERROR,
-                server=host_of(url),
-                latency_ms=(time.perf_counter() - started) * 1000.0,
-            )
-        )
 
-    def _record(self, result: FetchResult) -> FetchResult:  # pragma: no cover - network
+        def done(status: FetchStatus, detail: str = "", tokens=None, links=None) -> FetchResult:
+            return self._record(
+                FetchResult(
+                    url=pending.url,
+                    status=status,
+                    tokens=tokens or [],
+                    out_links=links or [],
+                    server=host,
+                    latency_ms=(time.perf_counter() - started) * 1000.0,
+                    detail=detail,
+                )
+            )
+
+        if not url.startswith(("http://", "https://")):
+            return done(FetchStatus.SKIPPED, detail="scheme")
+        if self.honor_robots and not await self._robots_allows(url):
+            return done(FetchStatus.SKIPPED, detail="robots")
+
+        current = url
+        seen = {current}
+        hops = 0
+        retries_used = 0
+        while True:
+            response, detail = await self._get_with_retries(current, pending, retries_used)
+            retries_used = pending.attempts - 1
+            if response is None:
+                return done(FetchStatus.SERVER_ERROR, detail=detail)
+            status = response.status
+            if 300 <= status < 400:
+                location = response.headers.get("location")
+                if not location:
+                    return done(FetchStatus.SKIPPED, detail="redirect-no-location")
+                target = self._resolve_link(current, location)
+                if target is None or not target.startswith(("http://", "https://")):
+                    return done(FetchStatus.SKIPPED, detail="scheme")
+                target = normalize_url(target)
+                hops += 1
+                if hops > self.max_redirects:
+                    self._emit({"kind": "redirect", "url": current, "target": target, "refused": "cap"})
+                    return done(FetchStatus.SKIPPED, detail="redirect-cap")
+                if target in seen:
+                    self._emit({"kind": "redirect", "url": current, "target": target, "refused": "loop"})
+                    return done(FetchStatus.SKIPPED, detail="redirect-loop")
+                seen.add(target)
+                self.redirects_followed += 1
+                self._emit({"kind": "redirect", "url": current, "target": target, "hop": hops})
+                current = target
+                continue
+            if status in (404, 410):
+                return done(FetchStatus.NOT_FOUND, detail=f"http-{status}")
+            if 400 <= status < 500:
+                return done(FetchStatus.SKIPPED, detail=f"http-{status}")
+            if status >= 500:
+                return done(FetchStatus.SERVER_ERROR, detail=f"http-{status}")
+            content_type = response.headers.get("content-type", "").split(";")[0].strip().lower()
+            if self.allowed_content_types and content_type not in self.allowed_content_types:
+                return done(FetchStatus.SKIPPED, detail="content-type")
+            if len(response.body) > self.max_content_bytes:
+                return done(FetchStatus.SKIPPED, detail="too-large")
+            text = self._decode(response)
+            tokens, links = parse_html(text, base_url=current, max_links=self.max_links)
+            return done(FetchStatus.OK, tokens=tokens, links=links)
+
+    async def _get_with_retries(
+        self, url: str, pending: PendingFetch, retries_used: int
+    ) -> tuple[Optional[HttpResponse], str]:
+        """One GET with transient-error/5xx retries; (None, detail) when exhausted.
+
+        The retry budget (and its prepared backoff draws) is shared
+        across a redirect chain's hops, so one URL can never consume more
+        than ``max_retries`` extra requests in total.
+        """
+        backend = self._require_backend()
+        headers = {"User-Agent": self.user_agent}
+        await self._politeness_delay(host_of(url))
+        detail = "network"
+        for spent in range(retries_used, self.max_retries + 1):
+            pending.attempts = spent + 1
+            try:
+                response = await backend.get(url, headers, self.timeout_s, self.max_content_bytes)
+            except backend.error_types as exc:
+                detail = "network"
+                self._emit({"kind": "error", "url": url, "error": type(exc).__name__})
+                response = None
+            if response is not None and response.status < 500:
+                return response, ""
+            if response is not None:
+                detail = f"http-{response.status}"
+            if spent >= self.max_retries:
+                return (response, detail) if response is not None else (None, detail)
+            delay = pending.backoffs[spent] if spent < len(pending.backoffs) else self.retry_backoff_s
+            if delay > 0:
+                await asyncio.sleep(delay)
+        return None, detail  # pragma: no cover - loop always returns
+
+    async def _politeness_delay(self, host: str) -> None:
+        """Space requests to one host at least ``per_host_delay_s`` apart."""
+        if self.per_host_delay_s <= 0:
+            return
+        with self._host_lock:
+            now = self._clock()
+            next_ok = self._next_request_at.get(host, now)
+            wait_s = max(0.0, next_ok - now)
+            self._next_request_at[host] = max(now, next_ok) + self.per_host_delay_s
+        if wait_s > 0:
+            await asyncio.sleep(wait_s)
+
+    # -- robots ------------------------------------------------------------
+    async def _robots_allows(self, url: str) -> bool:
+        parser = await self._robots_parser(url)
+        if parser is None:
+            return True
+        return parser.can_fetch(self.user_agent, url)
+
+    async def _robots_parser(self, url: str):
+        from urllib.parse import urlsplit
+
+        parts = urlsplit(url)
+        base = f"{parts.scheme}://{parts.netloc}"
+        now = self._clock()
+        entry = self._robots_cache.get(base)
+        if entry is not None and now - entry.fetched_at < self.robots_ttl_s:
+            return entry.parser
+        lock = self._robots_locks.setdefault(base, asyncio.Lock())
+        async with lock:
+            entry = self._robots_cache.get(base)
+            now = self._clock()
+            if entry is not None and now - entry.fetched_at < self.robots_ttl_s:
+                return entry.parser
+            parser = await self._fetch_robots(base)
+            self._robots_cache[base] = _RobotsEntry(parser=parser, fetched_at=now)
+            return parser
+
+    async def _fetch_robots(self, base: str):
+        """Fetch and parse ``robots.txt``; None (allow everything) on any failure.
+
+        A 2xx body is parsed; anything else — 4xx, 5xx, redirects,
+        connection errors — is treated as "no robots restrictions", the
+        conventional crawler behaviour for absent/unreachable files.
+        """
+        from urllib.robotparser import RobotFileParser
+
+        backend = self._require_backend()
+        robots_url = f"{base}/robots.txt"
+        self.robots_fetches += 1
+        try:
+            response = await backend.get(
+                robots_url, {"User-Agent": self.user_agent}, self.timeout_s, 512 * 1024
+            )
+        except backend.error_types:
+            self._emit({"kind": "robots", "url": robots_url, "status": "error"})
+            return None
+        self._emit({"kind": "robots", "url": robots_url, "status": response.status})
+        if not 200 <= response.status < 300:
+            return None
+        parser = RobotFileParser()
+        parser.parse(response.body.decode("utf-8", errors="replace").splitlines())
+        return parser
+
+    # -- helpers -----------------------------------------------------------
+    @staticmethod
+    def _resolve_link(base: str, target: str) -> Optional[str]:
+        from urllib.parse import urljoin
+
+        try:
+            return urljoin(base, target.strip())
+        except ValueError:
+            return None
+
+    @staticmethod
+    def _decode(response: HttpResponse) -> str:
+        content_type = response.headers.get("content-type", "")
+        charset = "utf-8"
+        for part in content_type.split(";")[1:]:
+            key, _, value = part.partition("=")
+            if key.strip().lower() == "charset" and value.strip():
+                charset = value.strip().strip('"').strip("'")
+        try:
+            return response.body.decode(charset, errors="replace")
+        except LookupError:
+            return response.body.decode("utf-8", errors="replace")
+
+    def _emit(self, event: dict) -> None:
+        if self.events is not None:
+            self.events(event)
+
+    def _record(self, result: FetchResult) -> FetchResult:
         with self._stats_lock:
             self.stats.record(result)
         return result
 
+    # -- checkpointing -----------------------------------------------------
     def state_snapshot(self) -> dict:
-        return {"stats": asdict(self.stats)}
+        # The robots cache is soft state (re-fetchable, TTL-bounded); the
+        # resumable hard state is the counters plus the backoff RNG
+        # position, so a resumed crawl draws the identical jitter stream.
+        with self._rng_lock:
+            rng = self._rng.bit_generator.state
+        return {
+            "stats": asdict(self.stats),
+            "rng": rng,
+            "robots_fetches": self.robots_fetches,
+            "redirects_followed": self.redirects_followed,
+        }
 
     def restore_state(self, state: dict) -> None:
         self.stats = FetchStats(**state["stats"])
+        if "rng" in state:
+            with self._rng_lock:
+                self._rng.bit_generator.state = state["rng"]
+        self.robots_fetches = state.get("robots_fetches", 0)
+        self.redirects_followed = state.get("redirects_followed", 0)
 
 
 def parse_html(text: str, base_url: str, max_links: int = 500) -> tuple[list[str], list[str]]:
-    """Crude HTML → (tokens, absolute out-links) used by :class:`HttpTransport`."""
+    """Crude HTML → (tokens, absolute out-links) used by :class:`HttpTransport`.
+
+    Hardened for real-web input: malformed/truncated markup never raises;
+    hrefs that fail to resolve are dropped; only absolute ``http(s)``
+    links survive; fragments and query strings are stripped (the frontier
+    keys pages by canonical URL, and ``#``/``?`` variants would explode
+    it with aliases).
+    """
     import re
-    from urllib.parse import urljoin
+    from urllib.parse import urljoin, urlsplit, urlunsplit
 
     links: list[str] = []
     for href in re.findall(r"""(?i)href\s*=\s*["']([^"'#]+)""", text):
-        absolute = urljoin(base_url, href.strip())
-        if absolute.startswith(("http://", "https://")):
-            links.append(absolute)
         if len(links) >= max_links:
             break
+        try:
+            absolute = urljoin(base_url, href.strip())
+            if not absolute.startswith(("http://", "https://")):
+                continue
+            parts = urlsplit(absolute)
+        except ValueError:
+            continue
+        if not parts.netloc:
+            continue
+        links.append(urlunsplit((parts.scheme, parts.netloc, parts.path or "/", "", "")))
     stripped = re.sub(r"(?s)<(script|style)[^>]*>.*?</\1>", " ", text)
     stripped = re.sub(r"<[^>]+>", " ", stripped)
     tokens = re.findall(r"[a-z][a-z0-9]+", stripped.lower())

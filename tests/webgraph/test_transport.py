@@ -256,16 +256,33 @@ class TestBuildTransport:
         with pytest.raises(ValueError):
             build_transport("carrier-pigeon", Fetcher(small_web))
 
-    def test_http_transport_is_import_guarded(self):
+    def test_http_transport_aiohttp_backend_is_import_guarded(self):
         try:
             import aiohttp  # noqa: F401
         except ImportError:
             with pytest.raises(TransportUnavailable):
-                HttpTransport()
+                HttpTransport(backend="aiohttp")
         else:  # pragma: no cover - depends on the environment
-            transport = HttpTransport()
+            transport = HttpTransport(backend="aiohttp")
+            assert transport.backend_name == "aiohttp"
+            transport.close()
+
+    def test_http_transport_default_backend_always_constructs(self):
+        # "auto" falls back to the stdlib urllib backend, so real-web
+        # fetching (and cassette recording) works without aiohttp.
+        transport = HttpTransport()
+        try:
+            assert transport.backend_name in ("aiohttp", "stdlib")
             assert not transport.order_sensitive
-            assert transport.prepare("http://example.org/").result is None
+            pending = transport.prepare("http://example.org/")
+            assert pending.result is None
+            assert len(pending.backoffs) == transport.max_retries
+        finally:
+            transport.close()
+
+    def test_http_transport_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            HttpTransport(backend="smoke-signals")
 
 
 class TestHtmlParsing:
@@ -288,3 +305,207 @@ class TestHtmlParsing:
             "http://example.org/local/page",
             "https://other.example/abs",
         ]
+
+    def test_relative_urls_resolve_against_base(self):
+        from repro.webgraph.transport import parse_html
+
+        html = '<a href="sibling.html">s</a><a href="../up.html">u</a><a href="./same.html">d</a>'
+        _, links = parse_html(html, base_url="http://example.org/a/b/index.html")
+        assert links == [
+            "http://example.org/a/b/sibling.html",
+            "http://example.org/a/up.html",
+            "http://example.org/a/b/same.html",
+        ]
+
+    def test_query_and_fragment_stripped(self):
+        from repro.webgraph.transport import parse_html
+
+        html = '<a href="/page.html?session=42&x=y">q</a><a href="/other.html?a=1">r</a>'
+        _, links = parse_html(html, base_url="http://example.org/")
+        assert links == ["http://example.org/page.html", "http://example.org/other.html"]
+
+    def test_non_http_schemes_filtered(self):
+        from repro.webgraph.transport import parse_html
+
+        html = (
+            '<a href="mailto:a@example.org">m</a>'
+            '<a href="javascript:alert(1)">j</a>'
+            '<a href="ftp://example.org/file">f</a>'
+            '<a href="data:text/html,hi">d</a>'
+            '<a href="https://ok.example/page">ok</a>'
+        )
+        _, links = parse_html(html, base_url="http://example.org/")
+        assert links == ["https://ok.example/page"]
+
+    def test_bare_host_link_gets_root_path(self):
+        from repro.webgraph.transport import parse_html
+
+        _, links = parse_html('<a href="http://example.org">x</a>', base_url="http://base.org/")
+        assert links == ["http://example.org/"]
+
+    def test_max_links_respected(self):
+        from repro.webgraph.transport import parse_html
+
+        html = "".join(f'<a href="/p{i}.html">x</a>' for i in range(50))
+        _, links = parse_html(html, base_url="http://example.org/", max_links=7)
+        assert len(links) == 7
+
+    def test_malformed_href_never_raises(self):
+        from repro.webgraph.transport import parse_html
+
+        # urljoin raises ValueError on this pseudo-IPv6 authority; the
+        # parser must drop the link, not crash.
+        html = '<a href="http://[::1">bad</a><a href="/fine.html">good</a>'
+        _, links = parse_html(html, base_url="http://example.org/")
+        assert links == ["http://example.org/fine.html"]
+
+
+class TestParseHtmlFuzz:
+    """Seeded random-document fuzz: parse_html never crashes and its
+    link invariants hold on arbitrary (including truncated) input."""
+
+    FRAGMENTS = [
+        "<html>", "</html>", "<body>", "<a href=", '<a href="', "'>", '">',
+        "http://h{}.example/p{}", "https://h{}.example", "//h{}.example/q{}",
+        "/rel/{}", "../up{}", "page{}.html?q={}#f{}", "mailto:x{}@y", "javascript:void(0)",
+        "ftp://h{}/f", "data:text/plain,{}", "<script>var x{} = '<a href=\"/no{}\">';</script>",
+        "<style>.c{} {{ color: red }}</style>", "word{} token{}", "<<<>>>", "&amp;", "\x00\x01",
+        "<a href='http://[::{}'>", "<a href=''>", '<a href="   ">', "é中文",
+    ]
+
+    def _random_doc(self, rng):
+        parts = []
+        for _ in range(rng.randrange(0, 60)):
+            fragment = self.FRAGMENTS[rng.randrange(len(self.FRAGMENTS))]
+            parts.append(fragment.format(*[rng.randrange(100) for _ in range(4)][: fragment.count("{}")]))
+        doc = "".join(parts)
+        if rng.random() < 0.3:  # truncate mid-anything
+            doc = doc[: rng.randrange(len(doc) + 1)]
+        return doc
+
+    def test_fuzz_no_crashes_and_absolute_url_invariants(self):
+        import random
+
+        from repro.webgraph.transport import parse_html
+
+        rng = random.Random(1999)
+        bases = [
+            "http://base.example/dir/index.html",
+            "https://base.example:8080/a/b.html",
+            "http://127.0.0.1:8000/",
+        ]
+        for trial in range(300):
+            doc = self._random_doc(rng)
+            base = bases[trial % len(bases)]
+            tokens, links = parse_html(doc, base_url=base, max_links=25)
+            assert len(links) <= 25
+            for link in links:
+                # Absolute http(s), with authority, no fragment, no query.
+                assert link.startswith(("http://", "https://")), link
+                assert "#" not in link and "?" not in link, link
+                from urllib.parse import urlsplit
+
+                parts = urlsplit(link)
+                assert parts.netloc, link
+                assert parts.path.startswith("/"), link
+            for token in tokens:
+                assert token == token.lower()
+
+    def test_fuzz_is_deterministic(self):
+        import random
+
+        from repro.webgraph.transport import parse_html
+
+        docs = []
+        rng = random.Random(77)
+        for _ in range(30):
+            docs.append(self._random_doc(rng))
+        first = [parse_html(d, base_url="http://b.example/x/") for d in docs]
+        second = [parse_html(d, base_url="http://b.example/x/") for d in docs]
+        assert first == second
+
+
+class _FakeContent:
+    def __init__(self, body):
+        self._body = body
+
+    async def read(self, n=-1):
+        return self._body if n < 0 else self._body[:n]
+
+
+class _FakeAiohttpResponse:
+    def __init__(self, url):
+        self.status = 200
+        self.headers = {"Content-Type": "text/html; charset=utf-8"}
+        self.url = url
+        self.content = _FakeContent(b"<html><body>alpha beta</body></html>")
+
+    async def __aenter__(self):
+        return self
+
+    async def __aexit__(self, *exc):
+        return False
+
+
+class _FakeClientSession:
+    created = 0
+
+    def __init__(self, *args, **kwargs):
+        type(self).created += 1
+        self.closed = False
+        self.get_calls = 0
+
+    def get(self, url, **kwargs):
+        assert kwargs.get("allow_redirects") is False
+        self.get_calls += 1
+        return _FakeAiohttpResponse(url)
+
+    async def close(self):
+        self.closed = True
+
+
+def _fake_aiohttp_module():
+    import types
+
+    module = types.ModuleType("aiohttp")
+    module.ClientSession = _FakeClientSession
+    module.ClientTimeout = lambda total=None: total
+    module.ClientError = type("ClientError", (Exception,), {})
+    return module
+
+
+class TestSharedSession:
+    """PR-10 bugfix pin: one ClientSession for the transport's lifetime,
+    not one per fetch (verified against a fake aiohttp)."""
+
+    def test_session_reused_across_fetches(self, monkeypatch):
+        import sys
+
+        _FakeClientSession.created = 0
+        monkeypatch.setitem(sys.modules, "aiohttp", _fake_aiohttp_module())
+        transport = HttpTransport(backend="aiohttp", honor_robots=False)
+        try:
+            assert transport.backend_name == "aiohttp"
+            for i in range(5):
+                result = transport.fetch(f"http://fake.example/page{i}.html")
+                assert result.status is FetchStatus.OK
+                assert result.tokens == ["alpha", "beta"]
+            assert _FakeClientSession.created == 1
+            assert transport._backend.requests == 5
+        finally:
+            transport.close()
+
+    def test_close_closes_the_session(self, monkeypatch):
+        import sys
+
+        _FakeClientSession.created = 0
+        monkeypatch.setitem(sys.modules, "aiohttp", _fake_aiohttp_module())
+        transport = HttpTransport(backend="aiohttp", honor_robots=False)
+        backend = transport._backend
+        transport.fetch("http://fake.example/")
+        session = backend._session
+        assert session is not None and not session.closed
+        transport.close()
+        assert session.closed
+        with pytest.raises(RuntimeError):
+            transport.fetch("http://fake.example/again")
