@@ -121,11 +121,37 @@ class RecordingTransport:
         existing = os.path.exists(path) and os.path.getsize(path) > 0
         if existing:
             read_header(path)  # refuse to append to a foreign/old file
+            self._rebuild_attempts(path)
         self._file = open(path, "ab")
         if not existing:
             header = {"format": CASSETTE_FORMAT, "version": CASSETTE_VERSION, "meta": meta or {}}
             self._write_line(header)
         self._install_event_sink()
+
+    def _rebuild_attempts(self, path: str) -> None:
+        # Re-opening a recorded cassette in record mode must continue
+        # each URL's attempt numbering where the file left off — a fresh
+        # counter would append duplicate (url, attempt) keys that replay
+        # and lint_cassette reject.  (A checkpoint resume then overwrites
+        # both counters and offset via restore_state.)
+        with open(path, "r", encoding="utf-8") as handle:
+            next(handle)  # header, validated by read_header above
+            for lineno, line in enumerate(handle, start=2):
+                if not line.strip():
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise CassetteError(f"{path}:{lineno}: bad JSON: {exc}") from exc
+                if event.get("kind") != "fetch":
+                    continue
+                try:
+                    url = event["url"]
+                    attempt = int(event["attempt"])
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise CassetteError(f"{path}:{lineno}: malformed fetch event") from exc
+                if attempt > self._attempts.get(url, 0):
+                    self._attempts[url] = attempt
 
     def _install_event_sink(self) -> None:
         # Walk the wrapper chain looking for a transport with an

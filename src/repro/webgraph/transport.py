@@ -404,11 +404,23 @@ class AiohttpSessionBackend:
         async with session.get(
             url, headers=headers, timeout=timeout, allow_redirects=False
         ) as response:
-            body = await response.content.read(max_bytes + 1)
+            # StreamReader.read(n) returns as soon as ANY buffered bytes
+            # exist (up to n), not when n bytes or EOF arrived — loop to
+            # EOF or one byte past the cap (which flags oversize bodies
+            # without buffering the rest), matching the stdlib backend's
+            # blocking-read semantics.
+            chunks = []
+            remaining = max_bytes + 1
+            while remaining > 0:
+                chunk = await response.content.read(remaining)
+                if not chunk:
+                    break
+                chunks.append(bytes(chunk))
+                remaining -= len(chunk)
             return HttpResponse(
                 status=response.status,
                 headers={k.lower(): v for k, v in response.headers.items()},
-                body=bytes(body),
+                body=b"".join(chunks),
                 url=str(response.url),
             )
 
@@ -441,7 +453,8 @@ class HttpTransport:
       :meth:`close`;
     * **robots.txt**: fetched once per host through the same session,
       cached with a TTL, and honoured (disallowed URLs come back
-      ``SKIPPED``/``robots`` without touching the page);
+      ``SKIPPED``/``robots`` without touching the page) — re-checked at
+      every redirect hop against the *target* host's rules;
     * **redirect chains**: followed manually up to ``max_redirects``
       hops with loop detection — a cap overrun or revisit refuses the
       URL (``SKIPPED``/``redirect-cap`` or ``redirect-loop``) instead of
@@ -510,6 +523,7 @@ class HttpTransport:
         self._rng_lock = threading.Lock()
         self._robots_cache: Dict[str, _RobotsEntry] = {}
         self._robots_locks: Dict[str, asyncio.Lock] = {}
+        self._robots_locks_loop: Optional[asyncio.AbstractEventLoop] = None
         self._next_request_at: Dict[str, float] = {}
         self._host_lock = threading.Lock()
         #: Observability hook: when set, robots / redirect / error events
@@ -644,6 +658,11 @@ class HttpTransport:
                     self._emit({"kind": "redirect", "url": current, "target": target, "refused": "loop"})
                     return done(FetchStatus.SKIPPED, detail="redirect-loop")
                 seen.add(target)
+                # Each hop — including a cross-host one — must honour the
+                # *target* host's robots rules, not just the original URL's.
+                if self.honor_robots and not await self._robots_allows(target):
+                    self._emit({"kind": "redirect", "url": current, "target": target, "refused": "robots"})
+                    return done(FetchStatus.SKIPPED, detail="robots")
                 self.redirects_followed += 1
                 self._emit({"kind": "redirect", "url": current, "target": target, "hop": hops})
                 current = target
@@ -723,7 +742,7 @@ class HttpTransport:
         entry = self._robots_cache.get(base)
         if entry is not None and now - entry.fetched_at < self.robots_ttl_s:
             return entry.parser
-        lock = self._robots_locks.setdefault(base, asyncio.Lock())
+        lock = self._robots_lock(base)
         async with lock:
             entry = self._robots_cache.get(base)
             now = self._clock()
@@ -732,6 +751,19 @@ class HttpTransport:
             parser = await self._fetch_robots(base)
             self._robots_cache[base] = _RobotsEntry(parser=parser, fetched_at=now)
             return parser
+
+    def _robots_lock(self, base: str) -> asyncio.Lock:
+        # asyncio.Lock binds to the loop that first acquires it, and the
+        # engine's non-prefetch async mode runs one event loop per round
+        # — a lock cached on round A's loop would raise "bound to a
+        # different event loop" when a robots TTL expiry re-acquires it
+        # on round B's.  Scope the cache to the running loop (the same
+        # trick as the aiohttp backend's _session_for_loop).
+        loop = asyncio.get_running_loop()
+        if self._robots_locks_loop is not loop:
+            self._robots_locks = {}
+            self._robots_locks_loop = loop
+        return self._robots_locks.setdefault(base, asyncio.Lock())
 
     async def _fetch_robots(self, base: str):
         """Fetch and parse ``robots.txt``; None (allow everything) on any failure.

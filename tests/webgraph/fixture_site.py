@@ -7,8 +7,9 @@ every hardening path of :class:`repro.webgraph.transport.HttpTransport`:
 * ``/robots.txt`` with an Allow-before-Disallow precedence pair over
   ``/private/``;
 * a redirect hop chain (``/redirect/hop1 → hop2 → /target.html``), a
-  too-deep chain (``/redirect/deep0 → … → deep4``), and a 2-cycle
-  (``/loop/a ↔ /loop/b``);
+  too-deep chain (``/redirect/deep0 → … → deep4``), a 2-cycle
+  (``/loop/a ↔ /loop/b``), and a redirect into the robots-disallowed
+  subtree (``/redirect/private → /private/secret.html``);
 * content gates: ``/binary.png`` (image/png) and ``/big.html``
   (oversized body);
 * failure shapes: ``/missing.html`` (404), ``/gone.html`` (410),
@@ -142,6 +143,8 @@ class _Handler(BaseHTTPRequestHandler):
             return self._send(302, location="/loop/b")
         if path == "/loop/b":
             return self._send(302, location="/loop/a")
+        if path == "/redirect/private":
+            return self._send(302, location="/private/secret.html")
         if path == "/target.html":
             return self._send(200, _html("target", ["cycling", "target", "destination"], ["/index.html"]))
         if path == "/binary.png":

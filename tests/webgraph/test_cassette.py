@@ -266,6 +266,25 @@ class TestSnapshotRewind:
             assert replay.fetch(url) == original
         replay.assert_exhausted()
 
+    def test_rerecord_continues_attempt_numbering(self, small_web, tmp_path):
+        # An explicit record re-run over an existing cassette continues
+        # each URL's attempt counters where the file left off — a fresh
+        # counter would append duplicate (url, attempt) keys that replay
+        # and lint_cassette reject.
+        path = str(tmp_path / "c.jsonl")
+        url = sample_urls(small_web)[0]
+        first = RecordingTransport(make_inner(small_web), path)
+        original = first.fetch(url)
+        first.close()
+        second = RecordingTransport(make_inner(small_web), path)
+        rerecorded = second.fetch(url)
+        second.close()
+        assert lint_cassette(path)["events"]["fetch"] == 2  # distinct keys
+        replay = ReplayTransport(path)
+        assert replay.fetch(url) == original       # attempt 1
+        assert replay.fetch(url) == rerecorded     # attempt 2
+        replay.assert_exhausted()
+
 
 class TestTransportForConfig:
     def _config(self, **overrides):

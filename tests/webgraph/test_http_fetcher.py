@@ -90,6 +90,30 @@ class TestRobots:
         finally:
             transport.close()
 
+    def test_robots_ttl_expiry_across_event_loops(self, site):
+        # The engine's non-prefetch async mode runs one event loop per
+        # round; a TTL re-fetch on a later round must not re-acquire a
+        # per-host robots lock bound to an earlier round's loop.  The
+        # lock binds on its *contended* path, so each round issues two
+        # concurrent same-host fetches (the engine's normal shape).
+        clock = [1000.0]
+        transport = make_transport(robots_ttl_s=60.0, clock=lambda: clock[0])
+
+        async def fetch_round(*urls):
+            return await asyncio.gather(
+                *(transport.wait(transport.prepare(url)) for url in urls)
+            )
+
+        try:
+            first = asyncio.run(fetch_round(site.url("/c0.html"), site.url("/c1.html")))
+            assert all(r.status is FetchStatus.OK for r in first)
+            clock[0] += 61.0  # past the TTL: round B's loop re-fetches robots
+            second = asyncio.run(fetch_round(site.url("/c2.html"), site.url("/c3.html")))
+            assert all(r.status is FetchStatus.OK for r in second)
+            assert transport.robots_fetches == 2
+        finally:
+            transport.close()
+
     def test_honor_robots_off_skips_the_fetch(self, site):
         transport = make_transport(honor_robots=False)
         try:
@@ -163,6 +187,15 @@ class TestRedirects:
         result = transport.fetch(site.url("/loop/a"))
         assert result.status is FetchStatus.SKIPPED
         assert result.detail == "redirect-loop"
+
+    def test_redirect_into_robots_disallowed_refused(self, site, transport):
+        # robots rules apply to every hop's target, not just the
+        # originally requested URL: the disallowed page is never touched.
+        before = site.request_count("/private/secret.html")
+        result = transport.fetch(site.url("/redirect/private"))
+        assert result.status is FetchStatus.SKIPPED
+        assert result.detail == "robots"
+        assert site.request_count("/private/secret.html") == before
 
 
 class TestContentGates:

@@ -426,19 +426,31 @@ class TestParseHtmlFuzz:
 
 
 class _FakeContent:
-    def __init__(self, body):
+    """A consuming stream with aiohttp's StreamReader semantics: read(n)
+    returns as soon as any bytes are available (at most ``chunk`` per
+    call when set, modelling a body delivered over several network
+    chunks), and b"" only at EOF."""
+
+    def __init__(self, body, chunk=None):
         self._body = body
+        self._pos = 0
+        self._chunk = chunk
 
     async def read(self, n=-1):
-        return self._body if n < 0 else self._body[:n]
+        limit = len(self._body) - self._pos if n < 0 else n
+        if self._chunk is not None:
+            limit = min(limit, self._chunk)
+        piece = self._body[self._pos : self._pos + limit]
+        self._pos += len(piece)
+        return piece
 
 
 class _FakeAiohttpResponse:
-    def __init__(self, url):
+    def __init__(self, url, body, chunk):
         self.status = 200
         self.headers = {"Content-Type": "text/html; charset=utf-8"}
         self.url = url
-        self.content = _FakeContent(b"<html><body>alpha beta</body></html>")
+        self.content = _FakeContent(body, chunk)
 
     async def __aenter__(self):
         return self
@@ -449,6 +461,8 @@ class _FakeAiohttpResponse:
 
 class _FakeClientSession:
     created = 0
+    response_body = b"<html><body>alpha beta</body></html>"
+    response_chunk = None
 
     def __init__(self, *args, **kwargs):
         type(self).created += 1
@@ -458,7 +472,9 @@ class _FakeClientSession:
     def get(self, url, **kwargs):
         assert kwargs.get("allow_redirects") is False
         self.get_calls += 1
-        return _FakeAiohttpResponse(url)
+        return _FakeAiohttpResponse(
+            url, type(self).response_body, type(self).response_chunk
+        )
 
     async def close(self):
         self.closed = True
@@ -509,3 +525,42 @@ class TestSharedSession:
         assert session.closed
         with pytest.raises(RuntimeError):
             transport.fetch("http://fake.example/again")
+
+
+class TestChunkedBodyRead:
+    """Regression pin: aiohttp's StreamReader.read(n) returns per-chunk,
+    so the backend must loop to EOF — a single read silently truncated
+    any multi-chunk body and disarmed the too-large gate."""
+
+    def _transport(self, monkeypatch, body, chunk, **kwargs):
+        import sys
+
+        _FakeClientSession.created = 0
+        monkeypatch.setattr(_FakeClientSession, "response_body", body)
+        monkeypatch.setattr(_FakeClientSession, "response_chunk", chunk)
+        monkeypatch.setitem(sys.modules, "aiohttp", _fake_aiohttp_module())
+        return HttpTransport(backend="aiohttp", honor_robots=False, **kwargs)
+
+    def test_multi_chunk_body_fully_read(self, monkeypatch):
+        words = " ".join(f"tok{i}" for i in range(200))
+        body = f"<html><body>{words}</body></html>".encode()
+        transport = self._transport(monkeypatch, body, chunk=7)
+        try:
+            result = transport.fetch("http://fake.example/chunked.html")
+            assert result.status is FetchStatus.OK
+            assert len(result.tokens) == 200
+            assert "tok199" in result.tokens  # the tail of the body survived
+        finally:
+            transport.close()
+
+    def test_too_large_gate_fires_on_chunked_body(self, monkeypatch):
+        body = b"<html><body>" + b"x" * 500 + b"</body></html>"
+        transport = self._transport(
+            monkeypatch, body, chunk=7, max_content_bytes=64
+        )
+        try:
+            result = transport.fetch("http://fake.example/big.html")
+            assert result.status is FetchStatus.SKIPPED
+            assert result.detail == "too-large"
+        finally:
+            transport.close()
